@@ -1,0 +1,148 @@
+// Command compressbench reproduces the paper's §5 compression experiments:
+// Table 2 (JPEG qualities 100/85/50 — size, accuracy, instability across
+// qualities) and Table 3 (JPEG vs PNG vs WebP vs HEIF — size, accuracy,
+// instability across formats), plus the Figure 5 gallery of images whose
+// label flips between formats. Following the paper, the input photos are
+// ISP-processed captures from the Samsung and iPhone profiles, and a single
+// consistent converter performs all compression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/lab"
+	"repro/internal/nn"
+	"repro/internal/stability"
+)
+
+func main() {
+	items := flag.Int("items", 120, "number of test objects")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	gallery := flag.Bool("gallery", false, "print the Figure 5 gallery of format-divergent images")
+	flag.Parse()
+	log.SetFlags(0)
+
+	model, err := lab.LoadOrTrainBaseModel(lab.DefaultBaseModel(), *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig := lab.NewRig(*seed)
+	test := dataset.GenerateHard(*items, *seed+100)
+	angles := []int{1, 2, 3}
+
+	// The paper uses the pre-codec photos from the Samsung and iPhone,
+	// compressed consistently by one tool (ImageMagick stand-in).
+	log.Printf("capturing ISP-processed photos (samsung + iphone)...")
+	var captures []*lab.Capture
+	for pi, phone := range rig.Phones {
+		if phone.Name != "samsung-galaxy-s10" && phone.Name != "iphone-xr" {
+			continue
+		}
+		captures = append(captures, rig.CaptureProcessed(phone, pi, test.Items, angles)...)
+	}
+
+	// Table 2: JPEG qualities.
+	qualityCodecs := []codec.Codec{codec.NewJPEG(100), codec.NewJPEG(85), codec.NewJPEG(50)}
+	t2, _ := runMatrix(model, captures, qualityCodecs)
+	t2.Title = "Table 2 — JPEG compression qualities (paper: instability 7.6%)"
+	t2.Render(os.Stdout)
+
+	// Table 3: formats at their defaults.
+	formats := []codec.Codec{codec.NewJPEG(75), codec.NewPNG(), codec.NewWebP(75), codec.NewHEIF(75)}
+	t3, formatRecords := runMatrix(model, captures, formats)
+	t3.Title = "\nTable 3 — compression formats (paper: instability 9.66%)"
+	t3.Render(os.Stdout)
+
+	if *gallery {
+		printGallery(formatRecords)
+	}
+}
+
+// runMatrix compresses every capture with every codec, classifies the
+// reconstructions, and reports size / accuracy per codec plus the
+// cross-codec instability (environments = codecs).
+func runMatrix(model *nn.Model, captures []*lab.Capture, codecs []codec.Codec) (*lab.Table, []*stability.Record) {
+	var all []*stability.Record
+	t := &lab.Table{Headers: []string{"metric"}}
+	sizes := make([]float64, len(codecs))
+	accs := make([]float64, len(codecs))
+	for ci, c := range codecs {
+		t.Headers = append(t.Headers, c.Name())
+		images := make([]*imaging.Image, len(captures))
+		itemIDs := make([]int, len(captures))
+		angleIDs := make([]int, len(captures))
+		labels := make([]int, len(captures))
+		var sizeSum float64
+		for i, cap := range captures {
+			enc := c.Encode(cap.Image)
+			images[i] = enc.Decode(codec.DecodeOptions{})
+			sizeSum += float64(enc.Size)
+			// The group identity is (object, angle, source phone): the
+			// same stored photo compressed N ways.
+			itemIDs[i] = cap.Item.ID*8 + phoneIndex(cap.Phone)
+			angleIDs[i] = cap.Angle
+			labels[i] = int(cap.Item.Class)
+		}
+		recs := lab.ClassifyImages(model, images, itemIDs, angleIDs, labels, c.Name(), 3)
+		all = append(all, recs...)
+		sizes[ci] = sizeSum / float64(len(captures)) / 1024
+		accs[ci] = stability.Accuracy(recs, c.Name())
+	}
+	sizeRow := []string{"avg. size [KB]"}
+	accRow := []string{"accuracy"}
+	for ci := range codecs {
+		sizeRow = append(sizeRow, fmt.Sprintf("%.2f", sizes[ci]))
+		accRow = append(accRow, fmt.Sprintf("%.1f%%", accs[ci]*100))
+	}
+	t.AddRow(sizeRow...)
+	t.AddRow(accRow...)
+	inst := stability.Compute(all)
+	instRow := []string{"instability"}
+	instRow = append(instRow, fmt.Sprintf("%.2f%% (%d/%d)", inst.Percent(), inst.Unstable, inst.Groups))
+	t.AddRow(instRow...)
+	return t, all
+}
+
+// phoneIndex gives each source phone a stable small index for group keys.
+func phoneIndex(name string) int {
+	if name == "samsung-galaxy-s10" {
+		return 0
+	}
+	return 1
+}
+
+// printGallery lists unstable groups with their per-format labels — the
+// textual equivalent of Figure 5's image gallery.
+func printGallery(records []*stability.Record) {
+	fmt.Println("\nFigure 5 — images with format-divergent labels")
+	groups := stability.GroupRecords(records)
+	shown := 0
+	for _, g := range groups {
+		if !g.Unstable(false) {
+			continue
+		}
+		fmt.Printf("  object %d angle %d (true: %s):\n", g.Key.ItemID/8, g.Key.Angle, dataset.Class(g.Class))
+		for _, r := range g.Records {
+			mark := "✗"
+			if r.Correct() {
+				mark = "✓"
+			}
+			fmt.Printf("    %-10s → %-14s %s (score %.2f)\n", r.Env, dataset.Class(r.Pred), mark, r.Score)
+		}
+		shown++
+		if shown >= 12 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no unstable groups found at this sample size)")
+	}
+}

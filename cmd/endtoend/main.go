@@ -1,0 +1,116 @@
+// Command endtoend reproduces the paper's §4 end-to-end experiment: five
+// phones photograph the same on-screen images in a controlled rig, the
+// shared classifier labels every photo, and the report regenerates
+// Figure 3 (accuracy by phone, instability by class / angle / within-phone)
+// and Figure 4 (prediction-score distributions for stable vs unstable
+// photos).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/lab"
+	"repro/internal/metrics"
+	"repro/internal/stability"
+)
+
+func main() {
+	items := flag.Int("items", 120, "number of test objects")
+	repeats := flag.Int("repeats", 6, "repeat shots per object for the within-phone experiment")
+	repeatItems := flag.Int("repeat-items", 30, "objects used in the within-phone experiment")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	model, err := lab.LoadOrTrainBaseModel(lab.DefaultBaseModel(), *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig := lab.NewRig(*seed)
+	test := dataset.GenerateHard(*items, *seed+100)
+	angles := []int{0, 1, 2, 3, 4}
+
+	log.Printf("capturing %d objects x %d angles x %d phones...", *items, len(angles), len(rig.Phones))
+	captures := rig.CaptureAll(test.Items, angles)
+	records := lab.Classify(model, captures, 3)
+
+	// Figure 3(a): accuracy by phone.
+	fmt.Println("\nFigure 3(a) — accuracy by phone")
+	var accSum float64
+	envs := stability.Envs(records)
+	for _, env := range envs {
+		acc := stability.Accuracy(records, env)
+		accSum += acc
+		fmt.Println(lab.Bar(env, acc*100, 100, 40))
+	}
+	fmt.Println(lab.Bar("avg all phones", accSum/float64(len(envs))*100, 100, 40))
+
+	// Figure 3(b): instability by class.
+	fmt.Println("\nFigure 3(b) — instability by class (%)")
+	byClass := stability.ByClass(records)
+	for c := 0; c < int(dataset.NumClasses); c++ {
+		fmt.Println(lab.Bar(dataset.Class(c).String(), byClass[c].Percent(), 25, 40))
+	}
+	total := stability.Compute(records)
+	fmt.Println(lab.Bar("total", total.Percent(), 25, 40))
+
+	// Figure 3(c): instability by angle.
+	fmt.Println("\nFigure 3(c) — instability by experiment angle (%)")
+	byAngle := stability.ByAngle(records)
+	for a := 0; a < dataset.NumAngles; a++ {
+		fmt.Println(lab.Bar(fmt.Sprintf("angle %d", a+1), byAngle[a].Percent(), 25, 40))
+	}
+
+	// Figure 3(d): within-phone repeat instability.
+	fmt.Println("\nFigure 3(d) — instability over repeat photos, same phone (%)")
+	for pi, phone := range rig.Phones {
+		var repRecords []*stability.Record
+		for _, it := range test.Items[:minInt(*repeatItems, len(test.Items))] {
+			caps := rig.CaptureRepeats(phone, pi, it, 2, *repeats)
+			recs := lab.Classify(model, caps, 3)
+			for ri, r := range recs {
+				r.Env = fmt.Sprintf("repeat-%d", ri)
+			}
+			repRecords = append(repRecords, recs...)
+		}
+		fmt.Println(lab.Bar(phone.Name, stability.Compute(repRecords).Percent(), 25, 40))
+	}
+
+	// Figure 4: prediction-score distributions.
+	split := stability.SplitScores(records)
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i) * 0.1
+	}
+	density := func(scores []float64) []float64 {
+		return metrics.NewHistogram(scores, 0, 1, 10).Density()
+	}
+	fmt.Println()
+	lab.Series(os.Stdout, "Figure 4(a) — prediction score density, stable images", xs, map[string][]float64{
+		"correct":   density(split.StableCorrect),
+		"incorrect": density(split.StableIncorrect),
+	}, 30)
+	lab.Series(os.Stdout, "Figure 4(b) — prediction score density, unstable photos", xs, map[string][]float64{
+		"correct":   density(split.UnstableCorrect),
+		"incorrect": density(split.UnstableIncorrect),
+	}, 30)
+
+	fmt.Printf("\nSummary: total end-to-end instability %s (paper: 14-17%%)\n", total)
+	fmt.Printf("Mean score (unstable correct)   = %.3f\n", metrics.Mean(split.UnstableCorrect))
+	fmt.Printf("Mean score (unstable incorrect) = %.3f\n", metrics.Mean(split.UnstableIncorrect))
+	fmt.Printf("Mean score (stable correct)     = %.3f\n", metrics.Mean(split.StableCorrect))
+	fmt.Printf("Mean score (stable incorrect)   = %.3f\n", metrics.Mean(split.StableIncorrect))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+// Command ispbench reproduces the paper's §6 ISP experiment (Table 4): raw
+// Bayer frames from the two raw-capable phones are converted by two
+// different software ISPs (ImageMagick-like and Adobe-like profiles), the
+// uncompressed conversions are classified, and instability is measured
+// between the two converters — isolating the ISP as the only varying stage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/isp"
+	"repro/internal/lab"
+	"repro/internal/sensor"
+	"repro/internal/stability"
+)
+
+func main() {
+	items := flag.Int("items", 120, "number of test objects")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	model, err := lab.LoadOrTrainBaseModel(lab.DefaultBaseModel(), *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig := lab.NewRig(*seed)
+	test := dataset.GenerateHard(*items, *seed+100)
+	angles := []int{1, 2, 3}
+
+	// Collect raw captures from the two raw-capable phones.
+	log.Printf("capturing raw (DNG-like) photos...")
+	type rawShot struct {
+		item  *dataset.Item
+		angle int
+		phone int
+		raw   *sensor.RawImage
+	}
+	var shots []rawShot
+	for pi, phone := range rig.Phones {
+		if !phone.RawCapable {
+			continue
+		}
+		for _, it := range test.Items {
+			for _, a := range angles {
+				scene := it.Render(a)
+				rng := rand.New(rand.NewSource(*seed*7919 + int64(it.ID)*31 + int64(a)*7 + int64(pi)))
+				displayed := rig.Screen.Display(scene, rng)
+				raw, err := phone.CaptureRaw(displayed, rng)
+				if err != nil {
+					log.Fatal(err)
+				}
+				shots = append(shots, rawShot{item: it, angle: a, phone: pi, raw: raw})
+			}
+		}
+	}
+
+	// Convert with both software ISPs and classify the PNGs (lossless, so
+	// compression contributes nothing).
+	pipelines := []*isp.Pipeline{isp.SoftwareImageMagick(), isp.SoftwareAdobe()}
+	var all []*stability.Record
+	t := &lab.Table{Title: "Table 4 — software ISP conversion (paper: ImageMagick 54.75%, Adobe 49.96%, instability 14.11%)", Headers: []string{"metric", "result"}}
+	for _, p := range pipelines {
+		images := make([]*imaging.Image, len(shots))
+		itemIDs := make([]int, len(shots))
+		angleIDs := make([]int, len(shots))
+		labels := make([]int, len(shots))
+		for i, s := range shots {
+			images[i] = p.Process(s.raw).Quantize8()
+			itemIDs[i] = s.item.ID*8 + s.phone
+			angleIDs[i] = s.angle
+			labels[i] = int(s.item.Class)
+		}
+		recs := lab.ClassifyImages(model, images, itemIDs, angleIDs, labels, p.Name, 3)
+		all = append(all, recs...)
+		t.AddRow(p.Name+" accuracy", fmt.Sprintf("%.2f%%", stability.Accuracy(recs, p.Name)*100))
+	}
+	inst := stability.Compute(all)
+	t.AddRow("instability", fmt.Sprintf("%.2f%% (%d/%d)", inst.Percent(), inst.Unstable, inst.Groups))
+	t.Render(os.Stdout)
+
+	fmt.Println("\nPipelines under test:")
+	for _, p := range pipelines {
+		fmt.Printf("  %s\n", p.Describe())
+	}
+}

@@ -1,0 +1,84 @@
+// Command osbench reproduces the paper's §7 processor/OS experiment: a
+// fixed, byte-identical image set is side-loaded onto five phone profiles
+// (Table 5's SoCs) and classified on-device. The only per-device degree of
+// freedom is the OS image decoder. The report shows per-device accuracy,
+// the decoded-image MD5 hashes that attribute the divergence to JPEG
+// decoding, and the PNG control where instability vanishes.
+package main
+
+import (
+	"crypto/md5"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/imaging"
+	"repro/internal/lab"
+	"repro/internal/stability"
+)
+
+func main() {
+	items := flag.Int("items", 150, "number of fixed input files")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	model, err := lab.LoadOrTrainBaseModel(lab.DefaultBaseModel(), *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phones := device.FirebasePhones()
+
+	for _, format := range []struct {
+		name string
+		c    codec.Codec
+	}{
+		{"JPEG", codec.NewJPEG(90)},
+		{"PNG", codec.NewPNG()},
+	} {
+		log.Printf("building fixed %s set (%d files)...", format.name, *items)
+		files := dataset.FixedSet(*items, *seed+200, format.c)
+
+		var all []*stability.Record
+		var refHashes [][16]byte
+		t := &lab.Table{
+			Title:   fmt.Sprintf("\n§7 — %s inputs across SoCs (paper: 0.64%% instability on JPEG, 0%% on PNG)", format.name),
+			Headers: []string{"phone", "soc", "accuracy", "decode-hash matches ref"},
+		}
+		for di, ph := range phones {
+			images := make([]*imaging.Image, len(files))
+			itemIDs := make([]int, len(files))
+			angles := make([]int, len(files))
+			labels := make([]int, len(files))
+			hashes := make([][16]byte, len(files))
+			for i, f := range files {
+				images[i] = f.Encoded.Decode(ph.Decode)
+				itemIDs[i] = f.Item.ID
+				angles[i] = 0
+				labels[i] = int(f.Item.Class)
+				hashes[i] = md5.Sum(images[i].ToBytes())
+			}
+			if di == 0 {
+				refHashes = hashes
+			}
+			match := 0
+			for i := range hashes {
+				if hashes[i] == refHashes[i] {
+					match++
+				}
+			}
+			recs := lab.ClassifyImages(model, images, itemIDs, angles, labels, ph.Name, 3)
+			all = append(all, recs...)
+			t.AddRow(ph.Name, ph.SoC, fmt.Sprintf("%.1f%%", stability.Accuracy(recs, ph.Name)*100),
+				fmt.Sprintf("%d/%d", match, len(files)))
+		}
+		t.Render(os.Stdout)
+		inst := stability.Compute(all)
+		fmt.Printf("  %s instability across devices: %s\n", format.name, inst)
+	}
+}

@@ -1,0 +1,89 @@
+// Command stabilitytrain reproduces the paper's §9.1 stability-training
+// experiments: the base model is fine-tuned on Samsung photos under every
+// combination of noise-generation scheme (two-images, subsample, distortion,
+// Gaussian, none) and stability loss (embedding distance, relative entropy),
+// and cross-phone instability between Samsung and iPhone photos is measured
+// on held-out objects — regenerating Table 6(a), Table 6(b) and the Figure 7
+// precision-recall curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/train"
+)
+
+func main() {
+	trainItems := flag.Int("train-items", 100, "objects in the fine-tuning set")
+	testItems := flag.Int("test-items", 80, "held-out objects for evaluation")
+	epochs := flag.Int("epochs", 2, "fine-tuning epochs per scheme")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	pr := flag.Bool("pr", false, "print Figure 7 precision-recall curves")
+	grid := flag.String("grid", "", "comma-separated α candidates; runs the paper's grid search per scheme")
+	flag.Parse()
+	log.SetFlags(0)
+
+	model, err := lab.LoadOrTrainBaseModel(lab.DefaultBaseModel(), *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := lab.DefaultStabilityExp(*seed)
+	cfg.TrainItems = *trainItems
+	cfg.TestItems = *testItems
+	cfg.Epochs = *epochs
+
+	var alphas []float64
+	if *grid != "" {
+		for _, part := range strings.Split(*grid, ",") {
+			a, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -grid value %q: %v", part, err)
+			}
+			alphas = append(alphas, a)
+		}
+	}
+
+	for _, loss := range []train.StabilityLoss{train.LossEmbedding, train.LossKL} {
+		var results []lab.SchemeResult
+		if len(alphas) > 0 {
+			results = lab.GridSearchAlpha(model, loss, cfg, alphas, log.Printf)
+		} else {
+			results = lab.RunStabilityExperiment(model, loss, cfg, log.Printf)
+		}
+		title := "Table 6(a) — embedding distance loss (paper: 3.91/4.22/5.12/5.12/7.22%)"
+		if loss == train.LossKL {
+			title = "\nTable 6(b) — relative entropy loss (paper: 6.32/5.72/4.52/4.82/6.62%)"
+		}
+		t := &lab.Table{Title: title, Headers: []string{"noise", "hyper parameters", "instability", "samsung acc", "iphone acc"}}
+		for _, r := range results {
+			t.AddRow(r.Label,
+				fmt.Sprintf("α=%g %s", r.Alpha, r.Hyper),
+				fmt.Sprintf("%.2f%%", r.Instability.Percent()),
+				fmt.Sprintf("%.1f%%", r.SamsungAcc*100),
+				fmt.Sprintf("%.1f%%", r.IPhoneAcc*100))
+		}
+		t.Render(os.Stdout)
+
+		if *pr {
+			fmt.Printf("\nFigure 7 — precision/recall (%s loss)\n", loss)
+			for _, r := range results {
+				fmt.Printf("  %s:\n", r.Label)
+				for i, p := range r.PRSamsung {
+					if i%4 != 0 {
+						continue
+					}
+					fmt.Printf("    thr %.2f  samsung P=%.3f R=%.3f   iphone P=%.3f R=%.3f\n",
+						p.Threshold, p.Precision, p.Recall, r.PRIPhone[i].Precision, r.PRIPhone[i].Recall)
+				}
+			}
+		}
+	}
+}

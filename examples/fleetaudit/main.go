@@ -1,0 +1,94 @@
+// Fleetaudit: the workload of a team shipping one model to a heterogeneous
+// device fleet. It audits a five-phone fleet for prediction instability,
+// breaks the result down by class, angle and device pair, and identifies the
+// most divergent pair — the developer-facing use of the paper's §4
+// characterization.
+//
+// Run with:
+//
+//	go run ./examples/fleetaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/lab"
+	"repro/internal/stability"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	log.Println("training base model...")
+	model, err := lab.LoadOrTrainBaseModel(lab.BaseModelConfig{
+		Seed: 7, TrainItems: 150, Epochs: 4, Width: 1,
+	}, "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig := lab.NewRig(42)
+	test := dataset.GenerateHard(50, 99)
+	angles := []int{0, 2, 4}
+
+	log.Printf("auditing %d phones on %d objects x %d angles...", len(rig.Phones), len(test.Items), len(angles))
+	records := lab.Classify(model, rig.CaptureAll(test.Items, angles), 3)
+
+	fmt.Println("\n=== Fleet accuracy ===")
+	for _, env := range stability.Envs(records) {
+		fmt.Println(lab.Bar(env, stability.Accuracy(records, env)*100, 100, 40))
+	}
+
+	total := stability.Compute(records)
+	fmt.Printf("\n=== Fleet instability: %s ===\n", total)
+
+	fmt.Println("\nBy class:")
+	byClass := stability.ByClass(records)
+	for c := 0; c < int(dataset.NumClasses); c++ {
+		fmt.Println(lab.Bar(dataset.Class(c).String(), byClass[c].Percent(), 40, 40))
+	}
+
+	fmt.Println("\nBy camera angle:")
+	byAngle := stability.ByAngle(records)
+	for _, a := range angles {
+		fmt.Println(lab.Bar(fmt.Sprintf("angle %d", a+1), byAngle[a].Percent(), 40, 40))
+	}
+
+	// Pairwise attribution: which two devices disagree the most? This is
+	// the actionable output — the pair to collect calibration photos from
+	// (§9.1's subsample scheme) or to gate rollouts on.
+	fmt.Println("\nBy device pair (most divergent first):")
+	pairs := stability.ByEnvPair(records)
+	type pairRate struct {
+		name string
+		s    stability.Summary
+	}
+	var sorted []pairRate
+	for name, s := range pairs {
+		sorted = append(sorted, pairRate{name, s})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].s.Rate() > sorted[j].s.Rate() })
+	for _, p := range sorted {
+		fmt.Println(lab.Bar(p.name, p.s.Percent(), 40, 46))
+	}
+	if len(sorted) > 0 {
+		fmt.Printf("\nMost divergent pair: %s (%.2f%%) — prioritize paired calibration data there.\n",
+			sorted[0].name, sorted[0].s.Percent())
+	}
+
+	// Confidence triage: how much of the instability is low-confidence?
+	split := stability.SplitScores(records)
+	lowConf := 0
+	for _, s := range split.UnstableIncorrect {
+		if s < 0.7 {
+			lowConf++
+		}
+	}
+	if n := len(split.UnstableIncorrect); n > 0 {
+		fmt.Printf("%d/%d unstable-incorrect predictions have confidence < 0.7 → a score threshold would catch them.\n",
+			lowConf, n)
+	}
+}

@@ -1,0 +1,170 @@
+// Integration tests: run miniature versions of the paper's experiments
+// end-to-end and assert the *shape* of the findings rather than absolute
+// numbers — the properties the reproduction must preserve.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/imaging"
+	"repro/internal/lab"
+	"repro/internal/stability"
+)
+
+func TestIntegrationEndToEndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the base model")
+	}
+	benchSetup(&testing.B{})
+
+	// 1. Accuracy must be in a useful regime — neither chance nor
+	//    saturated — on every phone (paper: 59-64%).
+	for _, env := range stability.Envs(benchRecords) {
+		acc := stability.Accuracy(benchRecords, env)
+		if acc < 0.4 || acc > 0.95 {
+			t.Errorf("%s accuracy %.2f outside the paper's regime", env, acc)
+		}
+	}
+
+	// 2. Cross-phone instability must be substantial (paper: 14-17%)
+	//    despite flat accuracy.
+	inst := stability.Compute(benchRecords)
+	if inst.Percent() < 5 {
+		t.Errorf("cross-phone instability %.2f%% implausibly low", inst.Percent())
+	}
+	if inst.Percent() > 45 {
+		t.Errorf("cross-phone instability %.2f%% implausibly high", inst.Percent())
+	}
+
+	// 3. Top-3 classification must improve both accuracy and instability
+	//    (paper Fig 9).
+	if stability.TopKAccuracy(benchRecords, "") <= stability.Accuracy(benchRecords, "") {
+		t.Error("top-3 accuracy not above top-1")
+	}
+	if stability.ComputeTopK(benchRecords).Rate() >= inst.Rate() {
+		t.Error("top-3 instability not below top-1")
+	}
+
+	// 4. Unstable predictions must be less confident than stable-correct
+	//    ones on average (paper Fig 4).
+	split := stability.SplitScores(benchRecords)
+	if len(split.UnstableCorrect) > 0 && len(split.StableCorrect) > 0 {
+		if mean(split.UnstableCorrect) >= mean(split.StableCorrect) {
+			t.Error("unstable predictions not less confident than stable ones")
+		}
+	}
+}
+
+func TestIntegrationOSExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the base model")
+	}
+	benchSetup(&testing.B{})
+
+	// PNG decodes identically everywhere → zero instability (paper §7).
+	if png := osExperiment(codec.NewPNG()); png != 0 {
+		t.Errorf("PNG OS instability %.2f%%, want exactly 0", png)
+	}
+	// JPEG decoder divergence is real but tiny compared to end-to-end.
+	jpeg := osExperiment(codec.NewJPEG(90))
+	e2e := stability.Compute(benchRecords).Percent()
+	if jpeg >= e2e {
+		t.Errorf("OS-only instability %.2f%% not ≪ end-to-end %.2f%%", jpeg, e2e)
+	}
+}
+
+func TestIntegrationDecoderHashDivergence(t *testing.T) {
+	// The §7 MD5 methodology: Huawei/Xiaomi (nearest-neighbour chroma)
+	// hash differently from the other three on JPEG, identically on PNG.
+	files := dataset.FixedSet(5, 99, codec.NewJPEG(90))
+	phones := device.FirebasePhones()
+	ref := &device.Profile{Name: "ref", Decode: phones[0].Decode}
+	for _, ph := range phones {
+		p := &device.Profile{Name: ph.Name, Decode: ph.Decode}
+		same := p.DecodeHash(files[0].Encoded) == ref.DecodeHash(files[0].Encoded)
+		wantSame := ph.Decode == phones[0].Decode
+		if same != wantSame {
+			t.Errorf("%s: hash match = %v, want %v", ph.Name, same, wantSame)
+		}
+	}
+}
+
+func TestIntegrationWithinPhoneBelowCrossPhone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the base model")
+	}
+	benchSetup(&testing.B{})
+
+	// Paper Fig 3(d): repeat-shot instability on one phone is much lower
+	// than cross-phone instability.
+	var recs []*stability.Record
+	for _, it := range benchItems[:15] {
+		shots := benchRig.CaptureRepeats(benchRig.Phones[0], 0, it, 2, 4)
+		rr := lab.Classify(benchModel, shots, 1)
+		for ri, r := range rr {
+			r.Env = string(rune('a' + ri))
+		}
+		recs = append(recs, rr...)
+	}
+	within := stability.Compute(recs).Rate()
+	cross := stability.Compute(benchRecords).Rate()
+	if within >= cross {
+		t.Errorf("within-phone instability %.2f not below cross-phone %.2f", within*100, cross*100)
+	}
+}
+
+func TestIntegrationCompressionAccuracyFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the base model")
+	}
+	benchSetup(&testing.B{})
+
+	// Paper Tables 2-3: codec choice barely moves accuracy yet creates
+	// instability. Compare per-codec accuracies and the joint instability.
+	caps := compressionCaptures()
+	inst, _, _ := codecMatrix(caps, []codec.Codec{codec.NewJPEG(75), codec.NewPNG(), codec.NewWebP(75), codec.NewHEIF(75)})
+	if inst.Unstable == 0 {
+		t.Error("format instability is zero — codecs too benign")
+	}
+
+	accs := map[string]float64{}
+	for _, c := range []codec.Codec{codec.NewJPEG(75), codec.NewPNG(), codec.NewWebP(75), codec.NewHEIF(75)} {
+		images := make([]*imaging.Image, len(caps))
+		labels := make([]int, len(caps))
+		ids := make([]int, len(caps))
+		angles := make([]int, len(caps))
+		for i, cap := range caps {
+			images[i] = c.Encode(cap.Image).Decode(codec.DecodeOptions{})
+			labels[i] = int(cap.Item.Class)
+			ids[i] = i
+		}
+		recs := lab.ClassifyImages(benchModel, images, ids, angles, labels, c.Name(), 1)
+		accs[c.Name()] = stability.Accuracy(recs, c.Name())
+	}
+	var min, max float64 = 1, 0
+	for _, a := range accs {
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max-min > 0.10 {
+		t.Errorf("accuracy spread across codecs %.1f%% — paper finds it nearly flat", (max-min)*100)
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,328 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+
+	"repro/internal/imaging"
+)
+
+// UpsampleMode selects how a decoder reconstructs subsampled chroma. Real
+// platforms disagree here — libjpeg-turbo's "fancy" (triangle/bilinear)
+// upsampling versus simple pixel replication — which is exactly the decoder
+// divergence the paper traced in §7 via MD5 mismatches on Huawei/Xiaomi.
+type UpsampleMode int
+
+// Supported chroma upsampling modes.
+const (
+	// UpsampleBilinear is the high-quality triangle-filter reconstruction.
+	UpsampleBilinear UpsampleMode = iota
+	// UpsampleNearest is fast pixel replication.
+	UpsampleNearest
+)
+
+// DecodeOptions carries decoder-side degrees of freedom.
+type DecodeOptions struct {
+	ChromaUpsample UpsampleMode
+}
+
+// Codec compresses an image into an Encoded representation.
+type Codec interface {
+	// Name identifies the format (e.g. "jpeg-q85").
+	Name() string
+	// Encode compresses the image. The returned Encoded is immutable.
+	Encode(im *imaging.Image) *Encoded
+}
+
+// planeData holds one channel's quantized coefficients (lossy formats).
+type planeData struct {
+	w, h      int       // plane dimensions (chroma may be half-size)
+	blockSize int       // transform support
+	quant     []float32 // quant table, blockSize² entries
+	coeffs    []int32   // quantized coefficients, block-major, zigzag order within block
+	mid       float32   // level shift subtracted before the transform
+}
+
+// Encoded is a compressed image. Lossy formats store quantized transform
+// coefficients; PNG stores the exact 8-bit samples. Size is the compressed
+// size in bytes (an entropy-model estimate for the lossy formats, the real
+// zlib size for PNG).
+type Encoded struct {
+	Format     string
+	W, H       int
+	Size       int
+	subsampled bool // chroma stored at half resolution
+	planes     []planeData
+	raw        []byte // PNG only: interleaved 8-bit RGB
+}
+
+// Decode reconstructs the image. For lossy formats the result depends on
+// opts (chroma upsampling); PNG is bit-exact and ignores opts.
+func (e *Encoded) Decode(opts DecodeOptions) *imaging.Image {
+	if e.raw != nil {
+		im, err := imaging.FromBytes(e.raw, e.W, e.H)
+		if err != nil {
+			panic(fmt.Sprintf("codec: corrupt PNG payload: %v", err))
+		}
+		return im
+	}
+	y := decodePlane(&e.planes[0])
+	cb := decodePlane(&e.planes[1])
+	cr := decodePlane(&e.planes[2])
+	if e.subsampled {
+		cb = upsample2x(cb, e.planes[1].w, e.planes[1].h, e.W, e.H, opts.ChromaUpsample)
+		cr = upsample2x(cr, e.planes[2].w, e.planes[2].h, e.W, e.H, opts.ChromaUpsample)
+	}
+	yc := &imaging.YCbCr{W: e.W, H: e.H, Y: y, Cb: cb, Cr: cr}
+	im := yc.ToRGB()
+	// Decoders emit 8-bit pixels; quantize so downstream hashing matches
+	// what a real gallery file would contain.
+	return im.Clamp().Quantize8()
+}
+
+// HashInto writes a canonical serialization of the encoded image into h, so
+// callers can compare "file" identity across decoders the way the paper
+// compared MD5 hashes of loaded images.
+func (e *Encoded) HashInto(h hash.Hash) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(e.W))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.H))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(e.planes)))
+	h.Write([]byte(e.Format))
+	h.Write(hdr[:])
+	if e.raw != nil {
+		h.Write(e.raw)
+		return
+	}
+	var buf [4]byte
+	for _, p := range e.planes {
+		for _, c := range p.coeffs {
+			binary.LittleEndian.PutUint32(buf[:], uint32(c))
+			h.Write(buf[:])
+		}
+	}
+}
+
+// encodePlane transforms and quantizes one channel with the given block size
+// and quant table. Samples outside the image are edge-padded. mid is
+// subtracted before the transform (0.5 for luma-in-[0,1], 0 for chroma).
+func encodePlane(samples []float32, w, h, blockSize int, quant []float32, mid float32) planeData {
+	b := basisFor(blockSize)
+	zz := zigzagOrder(blockSize)
+	bw := (w + blockSize - 1) / blockSize
+	bh := (h + blockSize - 1) / blockSize
+	n2 := blockSize * blockSize
+	coeffs := make([]int32, bw*bh*n2)
+	block := make([]float32, n2)
+	freq := make([]float32, n2)
+	bi := 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			for yy := 0; yy < blockSize; yy++ {
+				sy := by*blockSize + yy
+				if sy >= h {
+					sy = h - 1
+				}
+				for xx := 0; xx < blockSize; xx++ {
+					sx := bx*blockSize + xx
+					if sx >= w {
+						sx = w - 1
+					}
+					block[yy*blockSize+xx] = samples[sy*w+sx] - mid
+				}
+			}
+			b.forward2D(freq, block)
+			out := coeffs[bi*n2 : (bi+1)*n2]
+			for i, zi := range zz {
+				q := freq[zi] / quant[zi]
+				if q >= 0 {
+					out[i] = int32(q + 0.5)
+				} else {
+					out[i] = int32(q - 0.5)
+				}
+			}
+			bi++
+		}
+	}
+	return planeData{w: w, h: h, blockSize: blockSize, quant: quant, coeffs: coeffs, mid: mid}
+}
+
+// decodePlane dequantizes and inverse-transforms one channel.
+func decodePlane(p *planeData) []float32 {
+	b := basisFor(p.blockSize)
+	zz := zigzagOrder(p.blockSize)
+	n2 := p.blockSize * p.blockSize
+	out := make([]float32, p.w*p.h)
+	freq := make([]float32, n2)
+	spatial := make([]float32, n2)
+	mid := p.mid
+	bi := 0
+	for by := 0; by*p.blockSize < p.h; by++ {
+		for bx := 0; bx*p.blockSize < p.w; bx++ {
+			cf := p.coeffs[bi*n2 : (bi+1)*n2]
+			for i := range freq {
+				freq[i] = 0
+			}
+			for i, zi := range zz {
+				freq[zi] = float32(cf[i]) * p.quant[zi]
+			}
+			b.inverse2D(spatial, freq)
+			for yy := 0; yy < p.blockSize; yy++ {
+				sy := by*p.blockSize + yy
+				if sy >= p.h {
+					continue
+				}
+				for xx := 0; xx < p.blockSize; xx++ {
+					sx := bx*p.blockSize + xx
+					if sx >= p.w {
+						continue
+					}
+					out[sy*p.w+sx] = spatial[yy*p.blockSize+xx] + mid
+				}
+			}
+			bi++
+		}
+	}
+	return out
+}
+
+// downsample2x box-averages a plane to half resolution (4:2:0 chroma).
+func downsample2x(src []float32, w, h int) (dst []float32, dw, dh int) {
+	dw = (w + 1) / 2
+	dh = (h + 1) / 2
+	dst = make([]float32, dw*dh)
+	for y := 0; y < dh; y++ {
+		for x := 0; x < dw; x++ {
+			var s float32
+			var c float32
+			for dy := 0; dy < 2; dy++ {
+				sy := 2*y + dy
+				if sy >= h {
+					continue
+				}
+				for dx := 0; dx < 2; dx++ {
+					sx := 2*x + dx
+					if sx >= w {
+						continue
+					}
+					s += src[sy*w+sx]
+					c++
+				}
+			}
+			dst[y*dw+x] = s / c
+		}
+	}
+	return dst, dw, dh
+}
+
+// upsample2x reconstructs a full-resolution plane from half-resolution
+// chroma, with the decoder-dependent filter choice.
+func upsample2x(src []float32, sw, sh, w, h int, mode UpsampleMode) []float32 {
+	dst := make([]float32, w*h)
+	if mode == UpsampleNearest {
+		for y := 0; y < h; y++ {
+			sy := y / 2
+			if sy >= sh {
+				sy = sh - 1
+			}
+			for x := 0; x < w; x++ {
+				sx := x / 2
+				if sx >= sw {
+					sx = sw - 1
+				}
+				dst[y*w+x] = src[sy*sw+sx]
+			}
+		}
+		return dst
+	}
+	// Triangle-filter ("fancy") upsampling: each output sample is a 3:1
+	// blend of the two nearest chroma samples along each axis.
+	for y := 0; y < h; y++ {
+		fy := (float32(y)+0.5)/2 - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			y0 = 0
+		}
+		y1 := y0 + 1
+		if y1 >= sh {
+			y1 = sh - 1
+		}
+		wy := fy - float32(y0)
+		if wy < 0 {
+			wy = 0
+		}
+		for x := 0; x < w; x++ {
+			fx := (float32(x)+0.5)/2 - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				x0 = 0
+			}
+			x1 := x0 + 1
+			if x1 >= sw {
+				x1 = sw - 1
+			}
+			wx := fx - float32(x0)
+			if wx < 0 {
+				wx = 0
+			}
+			v00 := src[y0*sw+x0]
+			v01 := src[y0*sw+x1]
+			v10 := src[y1*sw+x0]
+			v11 := src[y1*sw+x1]
+			top := v00 + (v01-v00)*wx
+			bot := v10 + (v11-v10)*wx
+			dst[y*w+x] = top + (bot-top)*wy
+		}
+	}
+	return dst
+}
+
+// entropyBits estimates the coded size of a quantized plane with a
+// JPEG-style model: DC coefficients are difference-coded with a magnitude
+// category, AC coefficients cost a run/size prefix (≈4 bits) plus their
+// magnitude bits, and end-of-block costs 4 bits.
+func entropyBits(p *planeData) int {
+	n2 := p.blockSize * p.blockSize
+	bits := 0
+	var prevDC int32
+	for bi := 0; bi*n2 < len(p.coeffs); bi++ {
+		cf := p.coeffs[bi*n2 : (bi+1)*n2]
+		dcDiff := cf[0] - prevDC
+		prevDC = cf[0]
+		bits += 3 + magnitudeBits(dcDiff)
+		run := 0
+		lastNZ := 0
+		for i := 1; i < n2; i++ {
+			if cf[i] != 0 {
+				lastNZ = i
+			}
+		}
+		for i := 1; i <= lastNZ; i++ {
+			if cf[i] == 0 {
+				run++
+				if run == 16 {
+					bits += 11 // ZRL
+					run = 0
+				}
+				continue
+			}
+			bits += 4 + magnitudeBits(cf[i])
+			run = 0
+		}
+		bits += 4 // EOB
+	}
+	return bits
+}
+
+func magnitudeBits(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	return b
+}

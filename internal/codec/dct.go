@@ -1,0 +1,132 @@
+// Package codec implements the image codecs whose reconstruction differences
+// drive the paper's compression experiments: a JPEG-like 8×8 DCT codec with
+// libjpeg-style quality scaling, a WebP-like 4×4 predictive transform codec,
+// an HEIF-like 16×16 transform codec, and lossless PNG (with real zlib
+// sizes). The codecs are "format-like": they share the transform/quantize
+// structure of the real formats — which is what creates format-dependent
+// reconstructions — without bitstream compatibility, which the experiments
+// do not need.
+package codec
+
+import "math"
+
+// dctBasis holds the orthonormal DCT-II basis for an N×N block.
+type dctBasis struct {
+	n     int
+	basis []float32 // basis[k*n+i] = c(k)·cos((2i+1)kπ/2n)
+}
+
+func newDCTBasis(n int) *dctBasis {
+	b := &dctBasis{n: n, basis: make([]float32, n*n)}
+	for k := 0; k < n; k++ {
+		c := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			c = math.Sqrt(1 / float64(n))
+		}
+		for i := 0; i < n; i++ {
+			b.basis[k*n+i] = float32(c * math.Cos(float64(2*i+1)*float64(k)*math.Pi/float64(2*n)))
+		}
+	}
+	return b
+}
+
+var (
+	dct4  = newDCTBasis(4)
+	dct8  = newDCTBasis(8)
+	dct16 = newDCTBasis(16)
+)
+
+func basisFor(n int) *dctBasis {
+	switch n {
+	case 4:
+		return dct4
+	case 8:
+		return dct8
+	case 16:
+		return dct16
+	default:
+		return newDCTBasis(n)
+	}
+}
+
+// forward2D computes the 2-D DCT of an n×n block in place using separable
+// 1-D transforms. src and dst may alias.
+func (b *dctBasis) forward2D(dst, src []float32) {
+	n := b.n
+	tmp := make([]float32, n*n)
+	// rows
+	for y := 0; y < n; y++ {
+		row := src[y*n : (y+1)*n]
+		for k := 0; k < n; k++ {
+			var s float32
+			bk := b.basis[k*n : (k+1)*n]
+			for i := 0; i < n; i++ {
+				s += row[i] * bk[i]
+			}
+			tmp[y*n+k] = s
+		}
+	}
+	// columns
+	for x := 0; x < n; x++ {
+		for k := 0; k < n; k++ {
+			var s float32
+			bk := b.basis[k*n : (k+1)*n]
+			for i := 0; i < n; i++ {
+				s += tmp[i*n+x] * bk[i]
+			}
+			dst[k*n+x] = s
+		}
+	}
+}
+
+// inverse2D computes the 2-D inverse DCT of an n×n block.
+func (b *dctBasis) inverse2D(dst, src []float32) {
+	n := b.n
+	tmp := make([]float32, n*n)
+	// columns
+	for x := 0; x < n; x++ {
+		for i := 0; i < n; i++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += src[k*n+x] * b.basis[k*n+i]
+			}
+			tmp[i*n+x] = s
+		}
+	}
+	// rows
+	for y := 0; y < n; y++ {
+		for i := 0; i < n; i++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += tmp[y*n+k] * b.basis[k*n+i]
+			}
+			dst[y*n+i] = s
+		}
+	}
+}
+
+// zigzagOrder returns the zigzag scan order for an n×n block (indices into
+// row-major coefficients, ordered by increasing frequency diagonal).
+func zigzagOrder(n int) []int {
+	order := make([]int, 0, n*n)
+	for s := 0; s < 2*n-1; s++ {
+		if s%2 == 0 {
+			// walk up-right
+			for y := minInt(s, n-1); y >= 0 && s-y < n; y-- {
+				order = append(order, y*n+(s-y))
+			}
+		} else {
+			for x := minInt(s, n-1); x >= 0 && s-x < n; x-- {
+				order = append(order, (s-x)*n+x)
+			}
+		}
+	}
+	return order
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

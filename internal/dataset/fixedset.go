@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/codec"
+	"repro/internal/imaging"
+)
+
+// FixedFile is one byte-identical input file of the processor/OS experiment
+// (§7): the paper side-loaded a fixed Caltech101 subset onto every Firebase
+// phone, so the only per-device degree of freedom is the OS decoder.
+// Caltech101 itself is not redistributable here; the files are drawn from
+// the same procedural renderer with an independent seed, which preserves
+// the property that matters — every device decodes the exact same bytes.
+type FixedFile struct {
+	Item    *Item
+	Encoded *codec.Encoded
+}
+
+// FixedSet generates n fixed files compressed with the given codec. The
+// scenes pass through a mild, deterministic "photograph" (blur + quantize)
+// rather than a sensor simulation: these stand in for ordinary dataset
+// photos, not lab captures, and must be identical for every device.
+func FixedSet(n int, seed int64, c codec.Codec) []*FixedFile {
+	set := GenerateHard(n, seed)
+	files := make([]*FixedFile, n)
+	for i, it := range set.Items {
+		im := it.Render(2) // center angle
+		im = imaging.GaussianBlur(im, 0.5).Clamp().Quantize8()
+		files[i] = &FixedFile{Item: it, Encoded: c.Encode(im)}
+	}
+	return files
+}
+
+// TrainingImages renders every item at the given angles and returns images
+// plus labels, the raw material for model pre-training. A light photometric
+// augmentation (brightness/contrast jitter and pixel noise) stands in for
+// the diversity of a web-scraped training corpus; rng drives it.
+func TrainingImages(s *Set, angles []int, rng *rand.Rand, augment bool) ([]*imaging.Image, []int) {
+	var images []*imaging.Image
+	var labels []int
+	for _, it := range s.Items {
+		for _, a := range angles {
+			im := it.Render(a)
+			if augment {
+				if rng.Float64() < 0.5 {
+					im = imaging.GaussianBlur(im, 0.3+rng.Float64()*0.5)
+				}
+				im = imaging.AdjustHue(im, float32(rng.NormFloat64()*5))
+				im = imaging.AdjustSaturation(im, 1+float32(rng.NormFloat64()*0.11))
+				im = imaging.AdjustBrightness(im, float32(rng.NormFloat64()*0.08))
+				im = imaging.AdjustContrast(im, 1+float32(rng.NormFloat64()*0.14))
+				// Random tone exponent: stands in for the variety of
+				// processing pipelines behind a web-scraped corpus.
+				g := 1 + rng.NormFloat64()*0.15
+				if g < 0.7 {
+					g = 0.7
+				}
+				for i, v := range im.Pix {
+					if v > 0 {
+						im.Pix[i] = powf(v, g)
+					}
+					im.Pix[i] += float32(rng.NormFloat64() * 0.015)
+				}
+				im.Clamp()
+			}
+			images = append(images, im)
+			labels = append(labels, int(it.Class))
+		}
+	}
+	return images, labels
+}

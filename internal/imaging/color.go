@@ -1,0 +1,156 @@
+package imaging
+
+import "math"
+
+// YCbCr holds a planar luma/chroma representation with full-resolution
+// planes in [0,1] for Y and [-0.5,0.5] for Cb/Cr (BT.601 primaries, the
+// matrix JPEG uses).
+type YCbCr struct {
+	W, H       int
+	Y, Cb, Cr  []float32
+	SubsampleX int // chroma subsampling factors actually applied (1 or 2)
+	SubsampleY int
+}
+
+// RGBToYCbCr converts an RGB image to full-resolution YCbCr planes.
+func RGBToYCbCr(im *Image) *YCbCr {
+	n := im.W * im.H
+	out := &YCbCr{W: im.W, H: im.H, Y: make([]float32, n), Cb: make([]float32, n), Cr: make([]float32, n), SubsampleX: 1, SubsampleY: 1}
+	r := im.Pix[:n]
+	g := im.Pix[n : 2*n]
+	b := im.Pix[2*n : 3*n]
+	for i := 0; i < n; i++ {
+		out.Y[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+		out.Cb[i] = -0.168736*r[i] - 0.331264*g[i] + 0.5*b[i]
+		out.Cr[i] = 0.5*r[i] - 0.418688*g[i] - 0.081312*b[i]
+	}
+	return out
+}
+
+// ToRGB converts YCbCr planes back to an RGB image (not clamped).
+func (yc *YCbCr) ToRGB() *Image {
+	im := New(yc.W, yc.H)
+	n := yc.W * yc.H
+	r := im.Pix[:n]
+	g := im.Pix[n : 2*n]
+	b := im.Pix[2*n : 3*n]
+	for i := 0; i < n; i++ {
+		y, cb, cr := yc.Y[i], yc.Cb[i], yc.Cr[i]
+		r[i] = y + 1.402*cr
+		g[i] = y - 0.344136*cb - 0.714136*cr
+		b[i] = y + 1.772*cb
+	}
+	return im
+}
+
+// RGBToHSV converts a single RGB triple (components in [0,1]) to hue
+// (degrees in [0,360)), saturation and value.
+func RGBToHSV(r, g, b float32) (h, s, v float32) {
+	maxc := r
+	if g > maxc {
+		maxc = g
+	}
+	if b > maxc {
+		maxc = b
+	}
+	minc := r
+	if g < minc {
+		minc = g
+	}
+	if b < minc {
+		minc = b
+	}
+	v = maxc
+	d := maxc - minc
+	if maxc > 0 {
+		s = d / maxc
+	}
+	if d == 0 {
+		return 0, s, v
+	}
+	switch maxc {
+	case r:
+		h = 60 * float32(math.Mod(float64((g-b)/d), 6))
+	case g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	return h, s, v
+}
+
+// HSVToRGB converts hue (degrees), saturation and value to RGB in [0,1].
+func HSVToRGB(h, s, v float32) (r, g, b float32) {
+	h = float32(math.Mod(float64(h), 360))
+	if h < 0 {
+		h += 360
+	}
+	c := v * s
+	x := c * float32(1-math.Abs(math.Mod(float64(h)/60, 2)-1))
+	m := v - c
+	switch {
+	case h < 60:
+		r, g, b = c, x, 0
+	case h < 120:
+		r, g, b = x, c, 0
+	case h < 180:
+		r, g, b = 0, c, x
+	case h < 240:
+		r, g, b = 0, x, c
+	case h < 300:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	return r + m, g + m, b + m
+}
+
+// AdjustHue rotates every pixel's hue by degrees.
+func AdjustHue(im *Image, degrees float32) *Image {
+	out := New(im.W, im.H)
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		h, s, v := RGBToHSV(im.Pix[i], im.Pix[n+i], im.Pix[2*n+i])
+		r, g, b := HSVToRGB(h+degrees, s, v)
+		out.Pix[i], out.Pix[n+i], out.Pix[2*n+i] = r, g, b
+	}
+	return out
+}
+
+// AdjustSaturation scales every pixel's saturation by factor (clamped to
+// [0,1] saturation after scaling).
+func AdjustSaturation(im *Image, factor float32) *Image {
+	out := New(im.W, im.H)
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		h, s, v := RGBToHSV(im.Pix[i], im.Pix[n+i], im.Pix[2*n+i])
+		s *= factor
+		if s > 1 {
+			s = 1
+		}
+		r, g, b := HSVToRGB(h, s, v)
+		out.Pix[i], out.Pix[n+i], out.Pix[2*n+i] = r, g, b
+	}
+	return out
+}
+
+// AdjustBrightness adds delta to every sample (not clamped; callers Clamp).
+func AdjustBrightness(im *Image, delta float32) *Image {
+	out := im.Clone()
+	for i := range out.Pix {
+		out.Pix[i] += delta
+	}
+	return out
+}
+
+// AdjustContrast scales samples around mid-gray: y = (x-0.5)*factor + 0.5.
+func AdjustContrast(im *Image, factor float32) *Image {
+	out := im.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = (v-0.5)*factor + 0.5
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package imaging
+
+import "math"
+
+// GaussianBlur applies a separable Gaussian blur with the given sigma (in
+// pixels). Sigma <= 0 returns a copy.
+func GaussianBlur(im *Image, sigma float64) *Image {
+	if sigma <= 0 {
+		return im.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float32, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kernel[i+radius] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range kernel {
+		kernel[i] *= inv
+	}
+
+	n := im.W * im.H
+	tmp := New(im.W, im.H)
+	out := New(im.W, im.H)
+	// horizontal pass
+	for p := 0; p < 3; p++ {
+		src := im.Pix[p*n:]
+		dst := tmp.Pix[p*n:]
+		for y := 0; y < im.H; y++ {
+			row := src[y*im.W : (y+1)*im.W]
+			drow := dst[y*im.W : (y+1)*im.W]
+			for x := 0; x < im.W; x++ {
+				var s float32
+				for k := -radius; k <= radius; k++ {
+					xx := clampInt(x+k, 0, im.W-1)
+					s += row[xx] * kernel[k+radius]
+				}
+				drow[x] = s
+			}
+		}
+	}
+	// vertical pass
+	for p := 0; p < 3; p++ {
+		src := tmp.Pix[p*n:]
+		dst := out.Pix[p*n:]
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var s float32
+				for k := -radius; k <= radius; k++ {
+					yy := clampInt(y+k, 0, im.H-1)
+					s += src[yy*im.W+x] * kernel[k+radius]
+				}
+				dst[y*im.W+x] = s
+			}
+		}
+	}
+	return out
+}
+
+// BoxBlur applies an r-radius box filter, the cheap denoiser used by some
+// ISP profiles.
+func BoxBlur(im *Image, r int) *Image {
+	if r <= 0 {
+		return im.Clone()
+	}
+	n := im.W * im.H
+	out := New(im.W, im.H)
+	for p := 0; p < 3; p++ {
+		src := im.Pix[p*n:]
+		dst := out.Pix[p*n:]
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var s float32
+				cnt := 0
+				for dy := -r; dy <= r; dy++ {
+					yy := y + dy
+					if yy < 0 || yy >= im.H {
+						continue
+					}
+					for dx := -r; dx <= r; dx++ {
+						xx := x + dx
+						if xx < 0 || xx >= im.W {
+							continue
+						}
+						s += src[yy*im.W+xx]
+						cnt++
+					}
+				}
+				dst[y*im.W+x] = s / float32(cnt)
+			}
+		}
+	}
+	return out
+}
+
+// UnsharpMask sharpens with amount a: out = src + a*(src - blur(src)).
+func UnsharpMask(im *Image, sigma float64, amount float32) *Image {
+	blur := GaussianBlur(im, sigma)
+	out := New(im.W, im.H)
+	for i := range im.Pix {
+		out.Pix[i] = im.Pix[i] + amount*(im.Pix[i]-blur.Pix[i])
+	}
+	return out
+}
+
+// MedianDenoise3 applies a 3×3 median filter per channel, an edge-preserving
+// denoiser used by the higher-end ISP profiles.
+func MedianDenoise3(im *Image) *Image {
+	n := im.W * im.H
+	out := New(im.W, im.H)
+	var window [9]float32
+	for p := 0; p < 3; p++ {
+		src := im.Pix[p*n:]
+		dst := out.Pix[p*n:]
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				k := 0
+				for dy := -1; dy <= 1; dy++ {
+					yy := clampInt(y+dy, 0, im.H-1)
+					for dx := -1; dx <= 1; dx++ {
+						xx := clampInt(x+dx, 0, im.W-1)
+						window[k] = src[yy*im.W+xx]
+						k++
+					}
+				}
+				dst[y*im.W+x] = median9(window)
+			}
+		}
+	}
+	return out
+}
+
+// median9 returns the median of 9 values using a partial insertion sort.
+func median9(w [9]float32) float32 {
+	for i := 1; i < 9; i++ {
+		v := w[i]
+		j := i - 1
+		for j >= 0 && w[j] > v {
+			w[j+1] = w[j]
+			j--
+		}
+		w[j+1] = v
+	}
+	return w[4]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePPM encodes the image as a binary PPM (P6), the simplest portable
+// image format — viewable with any image tool and diffable in tests. Used by
+// the examples to dump Figure 1/Figure 5-style evidence images.
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("imaging: writing PPM header: %w", err)
+	}
+	if _, err := bw.Write(im.ToBytes()); err != nil {
+		return fmt.Errorf("imaging: writing PPM pixels: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SavePPM writes the image to a file path.
+func (im *Image) SavePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imaging: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := im.WritePPM(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPPM decodes a binary PPM (P6) image as written by WritePPM.
+func ReadPPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("imaging: reading PPM header: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("imaging: unsupported PPM magic %q", magic)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("imaging: implausible PPM size %dx%d", w, h)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("imaging: unsupported PPM max value %d", maxVal)
+	}
+	// single whitespace byte after the header
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imaging: reading PPM separator: %w", err)
+	}
+	data := make([]byte, 3*w*h)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("imaging: reading PPM pixels: %w", err)
+	}
+	return FromBytes(data, w, h)
+}
+
+// SideBySide composes images horizontally with a 1-pixel divider, for
+// contact sheets (e.g. the Figure 1 triptych: shot A, shot B, diff mask).
+func SideBySide(images ...*Image) *Image {
+	if len(images) == 0 {
+		panic("imaging: SideBySide of nothing")
+	}
+	h := images[0].H
+	total := len(images) - 1 // dividers
+	for _, im := range images {
+		if im.H != h {
+			panic("imaging: SideBySide height mismatch")
+		}
+		total += im.W
+	}
+	out := New(total, h)
+	out.Fill(1, 1, 1)
+	x0 := 0
+	for _, im := range images {
+		for y := 0; y < h; y++ {
+			for x := 0; x < im.W; x++ {
+				r, g, b := im.At(x, y)
+				out.Set(x0+x, y, r, g, b)
+			}
+		}
+		x0 += im.W + 1
+	}
+	return out
+}
+
+// MaskToImage renders a boolean mask (as produced by DiffMask) as a
+// grayscale image with marked pixels in red — the right panel of Figure 1.
+func MaskToImage(base *Image, mask []bool) *Image {
+	if len(mask) != base.W*base.H {
+		panic("imaging: MaskToImage length mismatch")
+	}
+	out := New(base.W, base.H)
+	n := base.W * base.H
+	for i := 0; i < n; i++ {
+		// luma of the base image as backdrop
+		y := 0.299*base.Pix[i] + 0.587*base.Pix[n+i] + 0.114*base.Pix[2*n+i]
+		if mask[i] {
+			out.Pix[i], out.Pix[n+i], out.Pix[2*n+i] = 1, 0.1, 0.1
+		} else {
+			out.Pix[i], out.Pix[n+i], out.Pix[2*n+i] = y, y, y
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package imaging
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := randImage(rng, 7, 5).Quantize8()
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n7 5\n255\n") {
+		t.Fatalf("bad PPM header: %q", buf.String()[:20])
+	}
+	back, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MSE(im, back) != 0 {
+		t.Fatal("PPM round trip lost data")
+	}
+}
+
+func TestSavePPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := randImage(rng, 4, 4)
+	path := filepath.Join(t.TempDir(), "out.ppm")
+	if err := im.SavePPM(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPPMRejectsGarbage(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"P5\n2 2\n255\nxxxx", // wrong magic
+		"P6\n2 2\n65535\n",   // unsupported depth
+		"P6\n-1 2\n255\n",    // bad size
+		"P6\n2 2\n255\nxx",   // truncated pixels
+	} {
+		if _, err := ReadPPM(strings.NewReader(input)); err == nil {
+			t.Fatalf("accepted garbage %q", input)
+		}
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := New(2, 3)
+	a.Fill(1, 0, 0)
+	b := New(4, 3)
+	b.Fill(0, 1, 0)
+	out := SideBySide(a, b)
+	if out.W != 2+1+4 || out.H != 3 {
+		t.Fatalf("composite size %dx%d", out.W, out.H)
+	}
+	r, _, _ := out.At(0, 0)
+	if r != 1 {
+		t.Fatal("left image missing")
+	}
+	_, g, _ := out.At(3, 0)
+	if g != 1 {
+		t.Fatal("right image missing")
+	}
+	// divider column is white
+	dr, dg, db := out.At(2, 0)
+	if dr != 1 || dg != 1 || db != 1 {
+		t.Fatal("divider not white")
+	}
+}
+
+func TestSideBySidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SideBySide(New(2, 2), New(2, 3))
+}
+
+func TestMaskToImage(t *testing.T) {
+	base := New(2, 1)
+	base.Fill(0.5, 0.5, 0.5)
+	out := MaskToImage(base, []bool{true, false})
+	r, g, _ := out.At(0, 0)
+	if r != 1 || g >= 0.5 {
+		t.Fatal("masked pixel not red")
+	}
+	r2, g2, b2 := out.At(1, 0)
+	if r2 != g2 || g2 != b2 {
+		t.Fatal("unmasked pixel not grayscale")
+	}
+}

@@ -1,0 +1,105 @@
+package imaging
+
+// Resize scales the image to (w,h). Downscaling uses box averaging (which is
+// what camera pipelines and ML preprocessing do to avoid aliasing);
+// upscaling uses bilinear interpolation.
+func Resize(src *Image, w, h int) *Image {
+	if w == src.W && h == src.H {
+		return src.Clone()
+	}
+	if w <= src.W && h <= src.H {
+		return boxDown(src, w, h)
+	}
+	return bilinear(src, w, h)
+}
+
+// boxDown averages the source pixels that fall in each destination cell.
+func boxDown(src *Image, w, h int) *Image {
+	dst := New(w, h)
+	sn := src.W * src.H
+	dn := w * h
+	xr := float64(src.W) / float64(w)
+	yr := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		sy0 := int(float64(y) * yr)
+		sy1 := int(float64(y+1) * yr)
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		if sy1 > src.H {
+			sy1 = src.H
+		}
+		for x := 0; x < w; x++ {
+			sx0 := int(float64(x) * xr)
+			sx1 := int(float64(x+1) * xr)
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			if sx1 > src.W {
+				sx1 = src.W
+			}
+			inv := 1 / float32((sy1-sy0)*(sx1-sx0))
+			for p := 0; p < 3; p++ {
+				var s float32
+				for sy := sy0; sy < sy1; sy++ {
+					row := src.Pix[p*sn+sy*src.W:]
+					for sx := sx0; sx < sx1; sx++ {
+						s += row[sx]
+					}
+				}
+				dst.Pix[p*dn+y*w+x] = s * inv
+			}
+		}
+	}
+	return dst
+}
+
+// bilinear interpolates with edge clamping.
+func bilinear(src *Image, w, h int) *Image {
+	dst := New(w, h)
+	sn := src.W * src.H
+	dn := w * h
+	xr := float64(src.W) / float64(w)
+	yr := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*yr - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			y0 = 0
+		}
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		wy := float32(fy - float64(y0))
+		if wy < 0 {
+			wy = 0
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*xr - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				x0 = 0
+			}
+			x1 := x0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			wx := float32(fx - float64(x0))
+			if wx < 0 {
+				wx = 0
+			}
+			for p := 0; p < 3; p++ {
+				pl := src.Pix[p*sn:]
+				v00 := pl[y0*src.W+x0]
+				v01 := pl[y0*src.W+x1]
+				v10 := pl[y1*src.W+x0]
+				v11 := pl[y1*src.W+x1]
+				top := v00 + (v01-v00)*wx
+				bot := v10 + (v11-v10)*wx
+				dst.Pix[p*dn+y*w+x] = top + (bot-top)*wy
+			}
+		}
+	}
+	return dst
+}

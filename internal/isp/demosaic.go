@@ -1,0 +1,169 @@
+// Package isp implements the image-signal-processor substrate: demosaicing,
+// black level, white balance, color-correction matrices, gamma curves,
+// denoising, sharpening and tone mapping, composed into per-vendor
+// pipelines. The paper treats phone ISPs as opaque, divergent black boxes;
+// here each vendor is an explicit parameterization of the same stage set, so
+// the divergence is reproducible and controllable.
+package isp
+
+import (
+	"repro/internal/imaging"
+	"repro/internal/sensor"
+)
+
+// DemosaicAlgorithm selects how the Bayer mosaic is interpolated to RGB.
+type DemosaicAlgorithm int
+
+// Supported demosaic algorithms.
+const (
+	// DemosaicBilinear averages the nearest same-color neighbours.
+	DemosaicBilinear DemosaicAlgorithm = iota
+	// DemosaicEdgeAware interpolates green along the lower-gradient axis
+	// before filling chroma, reducing zipper artifacts (a simplified
+	// Hamilton–Adams interpolator).
+	DemosaicEdgeAware
+)
+
+// Demosaic reconstructs a full RGB image from a raw Bayer frame.
+func Demosaic(raw *sensor.RawImage, algo DemosaicAlgorithm) *imaging.Image {
+	switch algo {
+	case DemosaicEdgeAware:
+		return demosaicEdgeAware(raw)
+	default:
+		return demosaicBilinear(raw)
+	}
+}
+
+func rawAt(raw *sensor.RawImage, x, y int) float32 {
+	if x < 0 {
+		x = -x
+	}
+	if x >= raw.W {
+		x = 2*raw.W - 2 - x
+	}
+	if y < 0 {
+		y = -y
+	}
+	if y >= raw.H {
+		y = 2*raw.H - 2 - y
+	}
+	return raw.Plane[y*raw.W+x]
+}
+
+// demosaicBilinear averages same-color neighbours in a 3×3 window.
+func demosaicBilinear(raw *sensor.RawImage) *imaging.Image {
+	im := imaging.New(raw.W, raw.H)
+	n := raw.W * raw.H
+	for y := 0; y < raw.H; y++ {
+		for x := 0; x < raw.W; x++ {
+			var acc [3]float32
+			var cnt [3]float32
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					c := raw.ColorAt(clampRef(x+dx, raw.W), clampRef(y+dy, raw.H))
+					acc[c] += rawAt(raw, x+dx, y+dy)
+					cnt[c]++
+				}
+			}
+			i := y*raw.W + x
+			for c := 0; c < 3; c++ {
+				if cnt[c] > 0 {
+					im.Pix[c*n+i] = acc[c] / cnt[c]
+				}
+			}
+			// keep the exact sample for the native color
+			own := raw.ColorAt(x, y)
+			im.Pix[own*n+i] = raw.Plane[i]
+		}
+	}
+	return im
+}
+
+func clampRef(v, size int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v >= size {
+		v = 2*size - 2 - v
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v >= size {
+		v = size - 1
+	}
+	return v
+}
+
+// demosaicEdgeAware reconstructs green along the axis of least gradient,
+// then interpolates red/blue using the green plane as a guide.
+func demosaicEdgeAware(raw *sensor.RawImage) *imaging.Image {
+	w, h := raw.W, raw.H
+	n := w * h
+	im := imaging.New(w, h)
+	green := im.Pix[n : 2*n]
+
+	// Pass 1: green plane.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if raw.ColorAt(x, y) == 1 {
+				green[i] = raw.Plane[i]
+				continue
+			}
+			gh := absf(rawAt(raw, x-1, y)-rawAt(raw, x+1, y)) +
+				absf(2*rawAt(raw, x, y)-rawAt(raw, x-2, y)-rawAt(raw, x+2, y))
+			gv := absf(rawAt(raw, x, y-1)-rawAt(raw, x, y+1)) +
+				absf(2*rawAt(raw, x, y)-rawAt(raw, x, y-2)-rawAt(raw, x, y+2))
+			switch {
+			case gh < gv:
+				green[i] = (rawAt(raw, x-1, y) + rawAt(raw, x+1, y)) / 2
+			case gv < gh:
+				green[i] = (rawAt(raw, x, y-1) + rawAt(raw, x, y+1)) / 2
+			default:
+				green[i] = (rawAt(raw, x-1, y) + rawAt(raw, x+1, y) + rawAt(raw, x, y-1) + rawAt(raw, x, y+1)) / 4
+			}
+		}
+	}
+
+	// Pass 2: red and blue via color-difference interpolation.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			own := raw.ColorAt(x, y)
+			for _, c := range [2]int{0, 2} {
+				if own == c {
+					im.Pix[c*n+i] = raw.Plane[i]
+					continue
+				}
+				var diff, cnt float32
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						xx, yy := clampRef(x+dx, w), clampRef(y+dy, h)
+						if raw.ColorAt(xx, yy) != c {
+							continue
+						}
+						diff += rawAt(raw, x+dx, y+dy) - green[yy*w+xx]
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					im.Pix[c*n+i] = green[i] + diff/cnt
+				} else {
+					im.Pix[c*n+i] = green[i]
+				}
+			}
+		}
+	}
+	return im
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

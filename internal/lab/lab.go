@@ -1,0 +1,148 @@
+// Package lab orchestrates the paper's experiments: it owns the screen rig
+// (monitor + mounted phones), turns scenes into per-device captures, runs
+// the classifier over them, and emits stability.Record streams the analysis
+// consumes. Each experiment in the paper corresponds to one entry point
+// here.
+package lab
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/stability"
+	"repro/internal/train"
+)
+
+// Rig is the controlled lab setup of §3.2: a monitor in a dark room with
+// phones on a fixed mount.
+type Rig struct {
+	Screen dataset.ScreenParams
+	Phones []*device.Profile
+	// Seed drives every stochastic capture; the same seed reproduces the
+	// whole experiment bit-for-bit.
+	Seed int64
+}
+
+// NewRig returns the default rig with the five lab phones.
+func NewRig(seed int64) *Rig {
+	return &Rig{Screen: dataset.DefaultScreen(), Phones: device.LabPhones(), Seed: seed}
+}
+
+// Capture is one photo taken during an experiment.
+type Capture struct {
+	Item  *dataset.Item
+	Angle int
+	Phone string
+	Image *imaging.Image
+	Bytes int // compressed size of the stored photo
+}
+
+// CaptureAll photographs every item at every angle with every phone: the
+// end-to-end data collection. Captures are deterministic in the rig seed.
+func (r *Rig) CaptureAll(items []*dataset.Item, angles []int) []*Capture {
+	var out []*Capture
+	for _, it := range items {
+		for _, a := range angles {
+			scene := it.Render(a)
+			for pi, phone := range r.Phones {
+				rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, pi, 0)))
+				displayed := r.Screen.Display(scene, rng)
+				photo := phone.Capture(displayed, rng)
+				out = append(out, &Capture{Item: it, Angle: a, Phone: phone.Name, Image: photo.Image, Bytes: photo.Encoded.Size})
+			}
+		}
+	}
+	return out
+}
+
+// CaptureProcessed photographs items with one phone but stops before
+// compression, returning the ISP output images the codec experiments start
+// from (the paper's "raw photos from the end-to-end experiment").
+func (r *Rig) CaptureProcessed(phone *device.Profile, phoneIdx int, items []*dataset.Item, angles []int) []*Capture {
+	var out []*Capture
+	for _, it := range items {
+		for _, a := range angles {
+			scene := it.Render(a)
+			rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, phoneIdx, 0)))
+			displayed := r.Screen.Display(scene, rng)
+			img := phone.CaptureProcessed(displayed, rng)
+			out = append(out, &Capture{Item: it, Angle: a, Phone: phone.Name, Image: img})
+		}
+	}
+	return out
+}
+
+// CaptureRepeats takes n successive photos of the same displayed item with
+// one phone (shutter presses seconds apart): the Figure 1 / Figure 3(d)
+// within-device experiment. Scene and phone are fixed; only temporal noise
+// (screen flicker, sensor noise) varies.
+func (r *Rig) CaptureRepeats(phone *device.Profile, phoneIdx int, item *dataset.Item, angle, n int) []*Capture {
+	scene := item.Render(angle)
+	out := make([]*Capture, n)
+	for rep := 0; rep < n; rep++ {
+		rng := rand.New(rand.NewSource(r.captureSeed(item.ID, angle, phoneIdx, rep+1)))
+		displayed := r.Screen.Display(scene, rng)
+		photo := phone.Capture(displayed, rng)
+		out[rep] = &Capture{Item: item, Angle: angle, Phone: phone.Name, Image: photo.Image, Bytes: photo.Encoded.Size}
+	}
+	return out
+}
+
+// captureSeed derives a unique deterministic seed per (item, angle, phone,
+// repeat) from the rig seed.
+func (r *Rig) captureSeed(item, angle, phone, repeat int) int64 {
+	h := r.Seed
+	for _, v := range [4]int64{int64(item), int64(angle), int64(phone), int64(repeat)} {
+		h = h*1000003 + v + 12345
+	}
+	return h
+}
+
+// Classify runs the model over captures and emits stability records with
+// Env set to the capture's phone name. topK is the list length recorded for
+// top-k analyses (≥1).
+func Classify(m *nn.Model, captures []*Capture, topK int) []*stability.Record {
+	images := make([]*imaging.Image, len(captures))
+	for i, c := range captures {
+		images[i] = c.Image
+	}
+	preds, scores, probs := train.Evaluate(m, images, 64)
+	topks := train.TopKOf(probs, topK)
+	out := make([]*stability.Record, len(captures))
+	for i, c := range captures {
+		out[i] = &stability.Record{
+			ItemID:    c.Item.ID,
+			Angle:     c.Angle,
+			TrueClass: int(c.Item.Class),
+			Env:       c.Phone,
+			Pred:      preds[i],
+			Score:     scores[i],
+			TopK:      topks[i],
+		}
+	}
+	return out
+}
+
+// ClassifyImages is the generic variant for experiments whose environments
+// are not phones (codecs, ISPs, decoders): the caller supplies one
+// environment name and the item/angle identities.
+func ClassifyImages(m *nn.Model, images []*imaging.Image, itemIDs, angles, labels []int, env string, topK int) []*stability.Record {
+	preds, scores, probs := train.Evaluate(m, images, 64)
+	topks := train.TopKOf(probs, topK)
+	out := make([]*stability.Record, len(images))
+	for i := range images {
+		out[i] = &stability.Record{
+			ItemID:    itemIDs[i],
+			Angle:     angles[i],
+			TrueClass: labels[i],
+			Env:       env,
+			Pred:      preds[i],
+			Score:     scores[i],
+			TopK:      topks[i],
+		}
+	}
+	return out
+}

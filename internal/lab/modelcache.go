@@ -1,0 +1,53 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// LoadOrTrainBaseModel returns the base model, loading its weights from
+// path when the file exists and training + saving otherwise. Experiment
+// binaries share one snapshot so the (CPU-trained) baseline is paid for
+// once. An empty path always trains.
+func LoadOrTrainBaseModel(cfg BaseModelConfig, path string, logf func(string, ...any)) (*nn.Model, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mcfg := nn.DefaultConfig(int(dataset.NumClasses))
+	mcfg.Width = cfg.Width
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			snap, err := nn.ReadSnapshot(f)
+			if err != nil {
+				return nil, fmt.Errorf("lab: reading model snapshot %s: %w", path, err)
+			}
+			m := nn.NewMobileNetV2Micro(rng, mcfg)
+			m.Restore(snap)
+			if logf != nil {
+				logf("loaded base model from %s (%d params)", path, m.NumParams())
+			}
+			return m, nil
+		}
+	}
+	if logf != nil {
+		logf("training base model (items=%d epochs=%d)...", cfg.TrainItems, cfg.Epochs)
+	}
+	m := TrainBaseModel(cfg)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("lab: creating model snapshot %s: %w", path, err)
+		}
+		defer f.Close()
+		if _, err := m.TakeSnapshot().WriteTo(f); err != nil {
+			return nil, fmt.Errorf("lab: writing model snapshot: %w", err)
+		}
+		if logf != nil {
+			logf("saved base model to %s", path)
+		}
+	}
+	return m, nil
+}

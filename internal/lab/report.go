@@ -1,0 +1,118 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders fixed-width text tables for the experiment reports, the
+// terminal stand-in for the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders an ASCII bar chart row: a label, a proportional bar and the
+// value — the terminal stand-in for the paper's bar figures.
+func Bar(label string, value, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(value / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("  %-22s %s %.2f", label, strings.Repeat("█", n)+strings.Repeat("·", width-n), value)
+}
+
+// Series renders a y-over-x ASCII chart of histogram densities, used for
+// the score-distribution figures. Values are scaled to the series max.
+func Series(w io.Writer, title string, xs []float64, series map[string][]float64, width int) {
+	fmt.Fprintf(w, "%s\n", title)
+	var max float64
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	// Deterministic order: insertion order is not available, sort instead.
+	sortStrings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %s:\n", name)
+		vals := series[name]
+		for i, v := range vals {
+			label := ""
+			if i < len(xs) {
+				label = fmt.Sprintf("%5.2f", xs[i])
+			}
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(width))
+			}
+			fmt.Fprintf(w, "    %s %s %.3f\n", label, strings.Repeat("█", n), v)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

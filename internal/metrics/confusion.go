@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions per (true class, predicted class) pair.
+// Cell (i,j) is the number of class-i examples predicted as class j.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusionMatrix builds the matrix from parallel prediction/label
+// slices. It panics on length mismatch or out-of-range classes.
+func NewConfusionMatrix(preds, labels []int, classes int) *ConfusionMatrix {
+	if len(preds) != len(labels) {
+		panic("metrics: confusion matrix length mismatch")
+	}
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i, p := range preds {
+		l := labels[i]
+		if p < 0 || p >= classes || l < 0 || l >= classes {
+			panic(fmt.Sprintf("metrics: confusion matrix class out of range: pred=%d label=%d", p, l))
+		}
+		cm.Counts[l][p]++
+	}
+	return cm
+}
+
+// Accuracy returns the trace fraction.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	total, diag := 0, 0
+	for i, row := range cm.Counts {
+		for j, c := range row {
+			total += c
+			if i == j {
+				diag += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Precision returns class c's precision (0 when the class is never
+// predicted).
+func (cm *ConfusionMatrix) Precision(c int) float64 {
+	tp := cm.Counts[c][c]
+	col := 0
+	for i := 0; i < cm.Classes; i++ {
+		col += cm.Counts[i][c]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(tp) / float64(col)
+}
+
+// Recall returns class c's recall (0 when the class never occurs).
+func (cm *ConfusionMatrix) Recall(c int) float64 {
+	tp := cm.Counts[c][c]
+	row := 0
+	for j := 0; j < cm.Classes; j++ {
+		row += cm.Counts[c][j]
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(tp) / float64(row)
+}
+
+// MostConfused returns the off-diagonal cell with the highest count — the
+// (true, predicted) pair the model mixes up the most — and that count.
+func (cm *ConfusionMatrix) MostConfused() (trueClass, predClass, count int) {
+	trueClass, predClass = -1, -1
+	for i, row := range cm.Counts {
+		for j, c := range row {
+			if i != j && c > count {
+				trueClass, predClass, count = i, j, c
+			}
+		}
+	}
+	return trueClass, predClass, count
+}
+
+// Render writes a fixed-width table with the given class names (indices are
+// used when names is nil or too short).
+func (cm *ConfusionMatrix) Render(w io.Writer, names []string) {
+	name := func(i int) string {
+		if i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("class%d", i)
+	}
+	width := 8
+	for i := 0; i < cm.Classes; i++ {
+		if len(name(i)) > width {
+			width = len(name(i))
+		}
+	}
+	pad := func(s string) string {
+		if len(s) >= width {
+			return s
+		}
+		return s + strings.Repeat(" ", width-len(s))
+	}
+	fmt.Fprintf(w, "  %s", pad("true\\pred"))
+	for j := 0; j < cm.Classes; j++ {
+		fmt.Fprintf(w, "  %s", pad(name(j)))
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < cm.Classes; i++ {
+		fmt.Fprintf(w, "  %s", pad(name(i)))
+		for j := 0; j < cm.Classes; j++ {
+			fmt.Fprintf(w, "  %s", pad(fmt.Sprintf("%d", cm.Counts[i][j])))
+		}
+		fmt.Fprintln(w)
+	}
+}

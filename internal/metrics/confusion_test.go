@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrixCounts(t *testing.T) {
+	preds := []int{0, 1, 1, 2, 0}
+	labels := []int{0, 1, 2, 2, 1}
+	cm := NewConfusionMatrix(preds, labels, 3)
+	if cm.Counts[0][0] != 1 || cm.Counts[1][1] != 1 || cm.Counts[2][1] != 1 || cm.Counts[2][2] != 1 || cm.Counts[1][0] != 1 {
+		t.Fatalf("counts %v", cm.Counts)
+	}
+	if got := cm.Accuracy(); math.Abs(got-3.0/5) > 1e-9 {
+		t.Fatalf("accuracy %v", got)
+	}
+}
+
+func TestConfusionPrecisionRecall(t *testing.T) {
+	// class 0: predicted twice, correct once → precision 0.5
+	// class 0: occurs once, correct once → recall 1
+	preds := []int{0, 0, 1}
+	labels := []int{0, 1, 1}
+	cm := NewConfusionMatrix(preds, labels, 2)
+	if p := cm.Precision(0); p != 0.5 {
+		t.Fatalf("precision %v", p)
+	}
+	if r := cm.Recall(0); r != 1 {
+		t.Fatalf("recall %v", r)
+	}
+	if r := cm.Recall(1); r != 0.5 {
+		t.Fatalf("recall(1) %v", r)
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	cm := NewConfusionMatrix([]int{0}, []int{0}, 3)
+	if cm.Precision(2) != 0 || cm.Recall(2) != 0 {
+		t.Fatal("unseen class must have 0 precision/recall")
+	}
+}
+
+func TestMostConfused(t *testing.T) {
+	preds := []int{1, 1, 1, 0, 2}
+	labels := []int{0, 0, 0, 0, 2}
+	cm := NewConfusionMatrix(preds, labels, 3)
+	tc, pc, n := cm.MostConfused()
+	if tc != 0 || pc != 1 || n != 3 {
+		t.Fatalf("most confused (%d,%d,%d)", tc, pc, n)
+	}
+}
+
+func TestMostConfusedPerfect(t *testing.T) {
+	cm := NewConfusionMatrix([]int{0, 1}, []int{0, 1}, 2)
+	tc, pc, n := cm.MostConfused()
+	if n != 0 || tc != -1 || pc != -1 {
+		t.Fatalf("perfect matrix reported confusion (%d,%d,%d)", tc, pc, n)
+	}
+}
+
+func TestConfusionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewConfusionMatrix([]int{0}, []int{0, 1}, 2) },
+		func() { NewConfusionMatrix([]int{5}, []int{0}, 2) },
+		func() { NewConfusionMatrix([]int{0}, []int{-1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfusionRender(t *testing.T) {
+	cm := NewConfusionMatrix([]int{0, 1, 1}, []int{0, 0, 1}, 2)
+	var buf bytes.Buffer
+	cm.Render(&buf, []string{"bottle", "purse"})
+	out := buf.String()
+	for _, want := range []string{"bottle", "purse", "true\\pred"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// nil names fall back to indices
+	buf.Reset()
+	cm.Render(&buf, nil)
+	if !strings.Contains(buf.String(), "class0") {
+		t.Fatal("index fallback missing")
+	}
+}

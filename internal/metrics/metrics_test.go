@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	topk := [][]int{{0, 1}, {2, 3}, {4}}
+	labels := []int{1, 0, 4}
+	if got := TopKAccuracy(topk, labels); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("TopKAccuracy = %v", got)
+	}
+	if TopKAccuracy(nil, nil) != 0 {
+		t.Fatal("empty top-k accuracy must be 0")
+	}
+}
+
+func TestPrecisionRecallPerfectClassifier(t *testing.T) {
+	probs := [][]float64{{0.9, 0.1}, {0.1, 0.9}, {0.8, 0.2}}
+	labels := []int{0, 1, 0}
+	pts := PrecisionRecallCurve(probs, labels, 2, []float64{0})
+	if pts[0].Precision != 1 || pts[0].Recall != 1 {
+		t.Fatalf("perfect classifier: %+v", pts[0])
+	}
+}
+
+func TestPrecisionRecallThresholdMonotoneRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var probs [][]float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		p := rng.Float64()
+		probs = append(probs, []float64{p, 1 - p})
+		labels = append(labels, rng.Intn(2))
+	}
+	pts := PrecisionRecallCurve(probs, labels, 2, nil)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Recall > pts[i-1].Recall+1e-9 {
+			t.Fatalf("recall increased with threshold: %v → %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestPrecisionRecallDefaultThresholds(t *testing.T) {
+	pts := PrecisionRecallCurve([][]float64{{1, 0}}, []int{0}, 2, nil)
+	if len(pts) < 15 {
+		t.Fatalf("default threshold sweep too short: %d", len(pts))
+	}
+	if pts[0].Threshold != 0 {
+		t.Fatalf("first threshold %v", pts[0].Threshold)
+	}
+}
+
+func TestHistogramCountsAndClamping(t *testing.T) {
+	h := NewHistogram([]float64{-1, 0.05, 0.55, 0.95, 2}, 0, 1, 10)
+	if h.Total != 5 {
+		t.Fatalf("total %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // -1 clamps into the first bucket
+		t.Fatalf("first bucket %d", h.Counts[0])
+	}
+	if h.Counts[9] != 2 { // 2 clamps into the last bucket
+		t.Fatalf("last bucket %d", h.Counts[9])
+	}
+	if h.Counts[5] != 1 {
+		t.Fatalf("middle bucket %d", h.Counts[5])
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		h := NewHistogram(vals, 0, 1, 8)
+		width := 1.0 / 8
+		var integral float64
+		for _, d := range h.Density() {
+			integral += d * width
+		}
+		return math.Abs(integral-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h := NewHistogram(nil, 0, 1, 4)
+	for _, d := range h.Density() {
+		if d != 0 {
+			t.Fatal("empty histogram density must be 0")
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(nil, 0, 1, 0) },
+		func() { NewHistogram(nil, 1, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanMedianStddev(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if Mean(vals) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(vals))
+	}
+	if Median(vals) != 2.5 {
+		t.Fatalf("Median = %v", Median(vals))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd-length median")
+	}
+	if math.Abs(Stddev(vals)-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("Stddev = %v", Stddev(vals))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty statistics must be 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Median(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.1234); !strings.Contains(got, "12.34%") {
+		t.Fatalf("FormatPct = %q", got)
+	}
+}

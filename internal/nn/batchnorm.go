@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes each channel over the batch and spatial dimensions of
+// an NCHW tensor, with learned scale (gamma) and shift (beta) and running
+// statistics for inference.
+type BatchNorm struct {
+	Gamma, Beta *Param
+
+	// Running statistics used in eval mode.
+	RunningMean []float32
+	RunningVar  []float32
+	Momentum    float32 // running-stat update rate, typically 0.1
+	Eps         float32
+
+	ch int
+
+	// forward caches (train mode)
+	xhat    *tensor.Tensor
+	invStd  []float32
+	n       int
+	hw      int
+	trained bool
+}
+
+// NewBatchNorm creates a BatchNorm over ch channels with gamma=1, beta=0.
+func NewBatchNorm(name string, ch int) *BatchNorm {
+	bn := &BatchNorm{
+		Gamma:       newParam(name+".gamma", ch),
+		Beta:        newParam(name+".beta", ch),
+		RunningMean: make([]float32, ch),
+		RunningVar:  make([]float32, ch),
+		Momentum:    0.1,
+		Eps:         1e-5,
+		ch:          ch,
+	}
+	bn.Gamma.W.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Forward implements Layer for input (N, C, H, W).
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 4, "BatchNorm")
+	if x.Dim(1) != bn.ch {
+		panic(fmt.Sprintf("nn: BatchNorm %s: channels %d want %d", bn.Gamma.Name, x.Dim(1), bn.ch))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	y := tensor.New(n, bn.ch, h, w)
+	g := bn.Gamma.W.Data()
+	b := bn.Beta.W.Data()
+
+	if !train {
+		parallelFor(bn.ch, func(c int) {
+			inv := float32(1 / math.Sqrt(float64(bn.RunningVar[c])+float64(bn.Eps)))
+			mean := bn.RunningMean[c]
+			scale, shift := g[c]*inv, b[c]-g[c]*inv*mean
+			for i := 0; i < n; i++ {
+				off := (i*bn.ch + c) * hw
+				src := x.Data()[off : off+hw]
+				dst := y.Data()[off : off+hw]
+				for j, v := range src {
+					dst[j] = v*scale + shift
+				}
+			}
+		})
+		bn.trained = false
+		return y
+	}
+
+	bn.n, bn.hw = n, hw
+	bn.xhat = tensor.New(n, bn.ch, h, w)
+	bn.invStd = make([]float32, bn.ch)
+	count := float64(n * hw)
+	parallelFor(bn.ch, func(c int) {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			off := (i*bn.ch + c) * hw
+			for _, v := range x.Data()[off : off+hw] {
+				sum += float64(v)
+				sumSq += float64(v) * float64(v)
+			}
+		}
+		mean := sum / count
+		variance := sumSq/count - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := 1 / math.Sqrt(variance+float64(bn.Eps))
+		bn.invStd[c] = float32(inv)
+		m32 := float32(mean)
+		for i := 0; i < n; i++ {
+			off := (i*bn.ch + c) * hw
+			src := x.Data()[off : off+hw]
+			xh := bn.xhat.Data()[off : off+hw]
+			dst := y.Data()[off : off+hw]
+			for j, v := range src {
+				h := (v - m32) * bn.invStd[c]
+				xh[j] = h
+				dst[j] = h*g[c] + b[c]
+			}
+		}
+		bn.RunningMean[c] = (1-bn.Momentum)*bn.RunningMean[c] + bn.Momentum*m32
+		bn.RunningVar[c] = (1-bn.Momentum)*bn.RunningVar[c] + bn.Momentum*float32(variance)
+	})
+	bn.trained = true
+	return y
+}
+
+// Backward implements Layer using the standard batch-norm gradient:
+//
+//	dx = (gamma*invStd/m) * (m*dy − sum(dy) − xhat*sum(dy*xhat))
+func (bn *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if bn.xhat == nil || !bn.trained {
+		panic("nn: BatchNorm.Backward requires a train-mode Forward")
+	}
+	n, hw := bn.n, bn.hw
+	m := float32(n * hw)
+	dx := tensor.New(dy.Shape()...)
+	g := bn.Gamma.W.Data()
+	dg := bn.Gamma.G.Data()
+	db := bn.Beta.G.Data()
+	parallelFor(bn.ch, func(c int) {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			off := (i*bn.ch + c) * hw
+			dyp := dy.Data()[off : off+hw]
+			xhp := bn.xhat.Data()[off : off+hw]
+			for j, v := range dyp {
+				sumDy += float64(v)
+				sumDyXhat += float64(v) * float64(xhp[j])
+			}
+		}
+		dg[c] += float32(sumDyXhat)
+		db[c] += float32(sumDy)
+		k := g[c] * bn.invStd[c] / m
+		sDy := float32(sumDy)
+		sDyX := float32(sumDyXhat)
+		for i := 0; i < n; i++ {
+			off := (i*bn.ch + c) * hw
+			dyp := dy.Data()[off : off+hw]
+			xhp := bn.xhat.Data()[off : off+hw]
+			dxp := dx.Data()[off : off+hw]
+			for j, v := range dyp {
+				dxp[j] = k * (m*v - sDy - xhp[j]*sDyX)
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,68 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Sequential chains layers, feeding each layer's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential creates a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer, propagating in reverse order.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer, concatenating all child parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Residual wraps a body with an identity skip connection: y = x + body(x).
+// The body must preserve the input shape.
+type Residual struct {
+	Body Layer
+}
+
+// NewResidual wraps body in an identity skip connection.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	out := y.Clone()
+	out.AddScaled(1, x)
+	return out
+}
+
+// Backward implements Layer: gradient flows through both the body and the
+// skip path.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := r.Body.Backward(dy)
+	out := dx.Clone()
+	out.AddScaled(1, dy)
+	return out
+}

@@ -1,0 +1,196 @@
+// Package sensor simulates a phone camera's optics and CMOS sensor: lens
+// blur, vignetting, chromatic shift, spectral response, Bayer mosaic
+// sampling, photon shot noise, read noise and ADC quantization. It stands in
+// for the physical cameras of the paper's five lab phones; the per-device
+// parameters are what make two phones photograph the same scene differently.
+package sensor
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/imaging"
+)
+
+// Params describes one device's optical and sensor characteristics.
+type Params struct {
+	// Optics.
+	BlurSigma      float64 // lens point-spread approximated as Gaussian, pixels
+	Vignette       float64 // corner falloff strength, 0 = none, 0.3 = strong
+	ChromaticShift float64 // horizontal R/B plane shift in pixels (lateral CA)
+
+	// Spectral response: per-channel sensitivities. Real sensors differ in
+	// their color filter arrays; values near 1.
+	GainR, GainG, GainB float64
+
+	// Exposure multiplier applied before noise (auto-exposure differences).
+	Exposure float64
+
+	// Noise model. Shot noise std = ShotNoise*sqrt(signal); read noise is
+	// additive Gaussian with std ReadNoise (both in normalized [0,1] units).
+	ShotNoise float64
+	ReadNoise float64
+
+	// ADC bit depth for the raw output (10 or 12 on real phones).
+	BitDepth int
+}
+
+// DefaultParams returns a neutral mid-range sensor.
+func DefaultParams() Params {
+	return Params{
+		BlurSigma: 0.6, Vignette: 0.10, ChromaticShift: 0.2,
+		GainR: 1, GainG: 1, GainB: 1,
+		Exposure: 1.0, ShotNoise: 0.02, ReadNoise: 0.008, BitDepth: 10,
+	}
+}
+
+// BayerPattern enumerates the 2×2 color-filter layouts.
+type BayerPattern int
+
+// Supported Bayer layouts.
+const (
+	RGGB BayerPattern = iota
+	BGGR
+	GRBG
+)
+
+// RawImage is a single-plane Bayer mosaic as read from the (simulated) ADC,
+// normalized to [0,1].
+type RawImage struct {
+	W, H    int
+	Pattern BayerPattern
+	Plane   []float32
+	Bits    int
+}
+
+// ColorAt returns which color channel (0=R,1=G,2=B) the mosaic samples at
+// (x,y) for the image's pattern.
+func (r *RawImage) ColorAt(x, y int) int {
+	return bayerColor(r.Pattern, x, y)
+}
+
+func bayerColor(p BayerPattern, x, y int) int {
+	// index within the 2x2 tile
+	i := (y%2)*2 + x%2
+	switch p {
+	case RGGB:
+		return [4]int{0, 1, 1, 2}[i]
+	case BGGR:
+		return [4]int{2, 1, 1, 0}[i]
+	default: // GRBG
+		return [4]int{1, 0, 2, 1}[i]
+	}
+}
+
+// Sensor captures scenes according to its parameters. It is stateless; all
+// randomness comes from the rng passed to Capture, so captures are
+// reproducible and two captures with different rng draws model two shutter
+// presses (the paper's Figure 1 situation).
+type Sensor struct {
+	Params  Params
+	Pattern BayerPattern
+}
+
+// New returns a sensor with the given parameters and an RGGB mosaic.
+func New(p Params) *Sensor { return &Sensor{Params: p, Pattern: RGGB} }
+
+// Capture exposes the sensor to a scene and returns the raw Bayer frame.
+// The scene is the irradiance arriving at the lens (linear RGB in [0,1]).
+func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
+	p := s.Params
+	img := scene
+
+	// Optics: lens blur then lateral chromatic aberration then vignette.
+	if p.BlurSigma > 0 {
+		img = imaging.GaussianBlur(img, p.BlurSigma)
+	} else {
+		img = img.Clone()
+	}
+	if p.ChromaticShift != 0 {
+		img = chromaticShift(img, float32(p.ChromaticShift))
+	}
+	if p.Vignette > 0 {
+		applyVignette(img, p.Vignette)
+	}
+
+	// Sample the mosaic with spectral gains, exposure, and noise.
+	raw := &RawImage{W: img.W, H: img.H, Pattern: s.Pattern, Plane: make([]float32, img.W*img.H), Bits: p.BitDepth}
+	gains := [3]float64{p.GainR * p.Exposure, p.GainG * p.Exposure, p.GainB * p.Exposure}
+	n := img.W * img.H
+	levels := float64(int(1)<<p.BitDepth - 1)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			c := bayerColor(s.Pattern, x, y)
+			v := float64(img.Pix[c*n+y*img.W+x]) * gains[c]
+			if v < 0 {
+				v = 0
+			}
+			// Photon shot noise scales with sqrt(signal); read noise is
+			// signal-independent. Gaussian approximations to the Poisson
+			// and thermal processes.
+			v += rng.NormFloat64()*p.ShotNoise*math.Sqrt(v) + rng.NormFloat64()*p.ReadNoise
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			// ADC quantization.
+			v = math.Round(v*levels) / levels
+			raw.Plane[y*img.W+x] = float32(v)
+		}
+	}
+	return raw
+}
+
+// chromaticShift displaces the red plane right and the blue plane left by
+// shift pixels (bilinear sub-pixel shift), modelling lateral CA.
+func chromaticShift(im *imaging.Image, shift float32) *imaging.Image {
+	out := im.Clone()
+	n := im.W * im.H
+	shiftPlane := func(plane []float32, s float32) {
+		row := make([]float32, im.W)
+		for y := 0; y < im.H; y++ {
+			src := plane[y*im.W : (y+1)*im.W]
+			copy(row, src)
+			for x := 0; x < im.W; x++ {
+				fx := float32(x) - s
+				x0 := int(math.Floor(float64(fx)))
+				w := fx - float32(x0)
+				x1 := x0 + 1
+				if x0 < 0 {
+					x0 = 0
+				} else if x0 >= im.W {
+					x0 = im.W - 1
+				}
+				if x1 < 0 {
+					x1 = 0
+				} else if x1 >= im.W {
+					x1 = im.W - 1
+				}
+				src[x] = row[x0]*(1-w) + row[x1]*w
+			}
+		}
+	}
+	shiftPlane(out.Pix[:n], shift)
+	shiftPlane(out.Pix[2*n:3*n], -shift)
+	return out
+}
+
+// applyVignette darkens pixels by distance from the optical center.
+func applyVignette(im *imaging.Image, strength float64) {
+	cx := float64(im.W-1) / 2
+	cy := float64(im.H-1) / 2
+	maxR2 := cx*cx + cy*cy
+	n := im.W * im.H
+	for y := 0; y < im.H; y++ {
+		dy := float64(y) - cy
+		for x := 0; x < im.W; x++ {
+			dx := float64(x) - cx
+			f := float32(1 - strength*(dx*dx+dy*dy)/maxR2)
+			i := y*im.W + x
+			im.Pix[i] *= f
+			im.Pix[n+i] *= f
+			im.Pix[2*n+i] *= f
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imaging"
+)
+
+func flatScene(w, h int, v float32) *imaging.Image {
+	im := imaging.New(w, h)
+	im.Fill(v, v, v)
+	return im
+}
+
+func TestCaptureDeterministicForSameSeed(t *testing.T) {
+	s := New(DefaultParams())
+	scene := flatScene(16, 16, 0.5)
+	a := s.Capture(scene, rand.New(rand.NewSource(7)))
+	b := s.Capture(scene, rand.New(rand.NewSource(7)))
+	for i := range a.Plane {
+		if a.Plane[i] != b.Plane[i] {
+			t.Fatal("same seed must reproduce the identical frame")
+		}
+	}
+}
+
+func TestCaptureDiffersAcrossShots(t *testing.T) {
+	// Two shutter presses (different rng states) differ — the Figure 1
+	// phenomenon.
+	s := New(DefaultParams())
+	scene := flatScene(16, 16, 0.5)
+	a := s.Capture(scene, rand.New(rand.NewSource(1)))
+	b := s.Capture(scene, rand.New(rand.NewSource(2)))
+	diff := 0
+	for i := range a.Plane {
+		if a.Plane[i] != b.Plane[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("independent shots must differ due to sensor noise")
+	}
+}
+
+func TestNoiselessCaptureIsExact(t *testing.T) {
+	p := DefaultParams()
+	p.ShotNoise, p.ReadNoise, p.BlurSigma, p.Vignette, p.ChromaticShift = 0, 0, 0, 0, 0
+	p.BitDepth = 16
+	s := New(p)
+	scene := flatScene(8, 8, 0.25)
+	raw := s.Capture(scene, rand.New(rand.NewSource(1)))
+	for i, v := range raw.Plane {
+		if math.Abs(float64(v)-0.25) > 1e-4 {
+			t.Fatalf("noiseless capture sample %d = %v, want 0.25", i, v)
+		}
+	}
+}
+
+func TestNoiseMagnitudeScalesWithParams(t *testing.T) {
+	scene := flatScene(32, 32, 0.5)
+	variance := func(shot, read float64) float64 {
+		p := DefaultParams()
+		p.BlurSigma, p.Vignette, p.ChromaticShift = 0, 0, 0
+		p.ShotNoise, p.ReadNoise = shot, read
+		p.BitDepth = 12
+		raw := New(p).Capture(scene, rand.New(rand.NewSource(3)))
+		var sum, sumSq float64
+		for _, v := range raw.Plane {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		n := float64(len(raw.Plane))
+		m := sum / n
+		return sumSq/n - m*m
+	}
+	lo := variance(0.01, 0.004)
+	hi := variance(0.05, 0.02)
+	if hi <= lo {
+		t.Fatalf("noise variance must grow with noise params: %v vs %v", lo, hi)
+	}
+}
+
+func TestADCQuantizationLevels(t *testing.T) {
+	p := DefaultParams()
+	p.ShotNoise, p.ReadNoise, p.BlurSigma, p.Vignette, p.ChromaticShift = 0, 0, 0, 0, 0
+	p.BitDepth = 4 // 15 levels, easy to verify
+	s := New(p)
+	scene := flatScene(4, 4, 0.37)
+	raw := s.Capture(scene, rand.New(rand.NewSource(1)))
+	levels := float64(15)
+	for _, v := range raw.Plane {
+		scaled := float64(v) * levels
+		if math.Abs(scaled-math.Round(scaled)) > 1e-4 {
+			t.Fatalf("sample %v is not on a %d-bit grid", v, p.BitDepth)
+		}
+	}
+	if raw.Bits != 4 {
+		t.Fatalf("Bits = %d", raw.Bits)
+	}
+}
+
+func TestBayerPatternColors(t *testing.T) {
+	raw := &RawImage{W: 4, H: 4, Pattern: RGGB}
+	// RGGB tile: (0,0)=R (1,0)=G (0,1)=G (1,1)=B
+	if raw.ColorAt(0, 0) != 0 || raw.ColorAt(1, 0) != 1 || raw.ColorAt(0, 1) != 1 || raw.ColorAt(1, 1) != 2 {
+		t.Fatal("RGGB layout wrong")
+	}
+	raw.Pattern = BGGR
+	if raw.ColorAt(0, 0) != 2 || raw.ColorAt(1, 1) != 0 {
+		t.Fatal("BGGR layout wrong")
+	}
+	raw.Pattern = GRBG
+	if raw.ColorAt(0, 0) != 1 || raw.ColorAt(1, 0) != 0 || raw.ColorAt(0, 1) != 2 {
+		t.Fatal("GRBG layout wrong")
+	}
+}
+
+func TestBayerSamplesMatchChannel(t *testing.T) {
+	// A pure red scene: only R sites see signal (G/B sites ~0).
+	p := DefaultParams()
+	p.ShotNoise, p.ReadNoise, p.BlurSigma, p.Vignette, p.ChromaticShift = 0, 0, 0, 0, 0
+	s := New(p)
+	scene := imaging.New(8, 8)
+	scene.Fill(0.8, 0, 0)
+	raw := s.Capture(scene, rand.New(rand.NewSource(1)))
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v := raw.Plane[y*8+x]
+			if raw.ColorAt(x, y) == 0 {
+				if math.Abs(float64(v)-0.8) > 1e-3 {
+					t.Fatalf("R site (%d,%d) = %v", x, y, v)
+				}
+			} else if v > 1e-3 {
+				t.Fatalf("non-R site (%d,%d) = %v, want 0", x, y, v)
+			}
+		}
+	}
+}
+
+func TestVignetteDarkensCorners(t *testing.T) {
+	p := DefaultParams()
+	p.ShotNoise, p.ReadNoise, p.BlurSigma, p.ChromaticShift = 0, 0, 0, 0
+	p.Vignette = 0.3
+	s := New(p)
+	scene := flatScene(17, 17, 0.6)
+	raw := s.Capture(scene, rand.New(rand.NewSource(1)))
+	center := raw.Plane[8*17+8]
+	corner := raw.Plane[0]
+	if corner >= center {
+		t.Fatalf("corner %v not darker than center %v", corner, center)
+	}
+}
+
+func TestChannelGainsShiftColor(t *testing.T) {
+	p := DefaultParams()
+	p.ShotNoise, p.ReadNoise, p.BlurSigma, p.Vignette, p.ChromaticShift = 0, 0, 0, 0, 0
+	p.GainR = 1.2
+	s := New(p)
+	scene := flatScene(8, 8, 0.5)
+	raw := s.Capture(scene, rand.New(rand.NewSource(1)))
+	var rSum, gSum float64
+	var rN, gN int
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			switch raw.ColorAt(x, y) {
+			case 0:
+				rSum += float64(raw.Plane[y*8+x])
+				rN++
+			case 1:
+				gSum += float64(raw.Plane[y*8+x])
+				gN++
+			}
+		}
+	}
+	if rSum/float64(rN) <= gSum/float64(gN) {
+		t.Fatal("GainR > 1 must brighten red sites relative to green")
+	}
+}
+
+func TestExposureScalesSignal(t *testing.T) {
+	base := DefaultParams()
+	base.ShotNoise, base.ReadNoise, base.BlurSigma, base.Vignette, base.ChromaticShift = 0, 0, 0, 0, 0
+	dark := base
+	dark.Exposure = 0.5
+	scene := flatScene(8, 8, 0.5)
+	a := New(base).Capture(scene, rand.New(rand.NewSource(1)))
+	b := New(dark).Capture(scene, rand.New(rand.NewSource(1)))
+	if b.Plane[0] >= a.Plane[0] {
+		t.Fatalf("lower exposure must darken: %v vs %v", b.Plane[0], a.Plane[0])
+	}
+}
+
+func TestCaptureClampsToValidRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultParams()
+		p.ShotNoise = 0.1 // heavy noise to stress the clamp
+		s := New(p)
+		raw := s.Capture(flatScene(8, 8, 0.9), rng)
+		for _, v := range raw.Plane {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureDoesNotMutateScene(t *testing.T) {
+	s := New(DefaultParams())
+	scene := flatScene(8, 8, 0.5)
+	before := append([]float32(nil), scene.Pix...)
+	s.Capture(scene, rand.New(rand.NewSource(1)))
+	for i := range before {
+		if scene.Pix[i] != before[i] {
+			t.Fatal("Capture mutated the scene")
+		}
+	}
+}

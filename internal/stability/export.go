@@ -1,0 +1,149 @@
+package stability
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the column layout of WriteCSV/ReadCSV.
+var csvHeader = []string{"item_id", "angle", "true_class", "env", "pred", "score", "topk"}
+
+// WriteCSV exports records for downstream analysis (spreadsheets, pandas,
+// R). TopK is encoded as a ';'-separated list.
+func WriteCSV(w io.Writer, records []*Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("stability: writing CSV header: %w", err)
+	}
+	for _, r := range records {
+		topk := make([]string, len(r.TopK))
+		for i, k := range r.TopK {
+			topk[i] = strconv.Itoa(k)
+		}
+		row := []string{
+			strconv.Itoa(r.ItemID),
+			strconv.Itoa(r.Angle),
+			strconv.Itoa(r.TrueClass),
+			r.Env,
+			strconv.Itoa(r.Pred),
+			strconv.FormatFloat(r.Score, 'f', 6, 64),
+			strings.Join(topk, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stability: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records previously written with WriteCSV.
+func ReadCSV(r io.Reader) ([]*Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stability: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("stability: empty CSV")
+	}
+	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("stability: unexpected CSV header %v", rows[0])
+	}
+	records := make([]*Record, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("stability: row %d has %d columns", n+1, len(row))
+		}
+		rec := &Record{Env: row[3]}
+		var err error
+		if rec.ItemID, err = strconv.Atoi(row[0]); err != nil {
+			return nil, fmt.Errorf("stability: row %d item_id: %w", n+1, err)
+		}
+		if rec.Angle, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("stability: row %d angle: %w", n+1, err)
+		}
+		if rec.TrueClass, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fmt.Errorf("stability: row %d true_class: %w", n+1, err)
+		}
+		if rec.Pred, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("stability: row %d pred: %w", n+1, err)
+		}
+		if rec.Score, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("stability: row %d score: %w", n+1, err)
+		}
+		if row[6] != "" {
+			for _, part := range strings.Split(row[6], ";") {
+				k, err := strconv.Atoi(part)
+				if err != nil {
+					return nil, fmt.Errorf("stability: row %d topk: %w", n+1, err)
+				}
+				rec.TopK = append(rec.TopK, k)
+			}
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// Report is a complete instability analysis of one record set, the
+// programmatic form of the paper's result sections.
+type Report struct {
+	Total     Summary
+	TotalTopK Summary
+	ByEnv     map[string]float64 // accuracy per environment
+	ByClass   map[int]Summary
+	ByAngle   map[int]Summary
+	ByPair    map[string]Summary
+	Scores    ScoreSplit
+}
+
+// NewReport computes every breakdown at once.
+func NewReport(records []*Record) *Report {
+	rep := &Report{
+		Total:     Compute(records),
+		TotalTopK: ComputeTopK(records),
+		ByEnv:     map[string]float64{},
+		ByClass:   ByClass(records),
+		ByAngle:   ByAngle(records),
+		ByPair:    ByEnvPair(records),
+		Scores:    SplitScores(records),
+	}
+	for _, env := range Envs(records) {
+		rep.ByEnv[env] = Accuracy(records, env)
+	}
+	return rep
+}
+
+// WorstPair returns the environment pair with the highest instability.
+func (r *Report) WorstPair() (pair string, s Summary) {
+	for p, sum := range r.ByPair {
+		if sum.Rate() > s.Rate() || pair == "" {
+			if sum.Rate() >= s.Rate() {
+				pair, s = p, sum
+			}
+		}
+	}
+	return pair, s
+}
+
+// Render writes a compact text report.
+func (r *Report) Render(w io.Writer, classNames []string) {
+	fmt.Fprintf(w, "instability: %s (top-k: %s)\n", r.Total, r.TotalTopK)
+	for env, acc := range r.ByEnv {
+		fmt.Fprintf(w, "  accuracy[%s] = %.2f%%\n", env, acc*100)
+	}
+	for c, s := range r.ByClass {
+		name := strconv.Itoa(c)
+		if c < len(classNames) {
+			name = classNames[c]
+		}
+		fmt.Fprintf(w, "  class[%s] = %s\n", name, s)
+	}
+	if pair, s := r.WorstPair(); pair != "" {
+		fmt.Fprintf(w, "  worst pair: %s = %s\n", pair, s)
+	}
+}

@@ -1,0 +1,116 @@
+package stability
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []*Record{
+		{ItemID: 1, Angle: 2, TrueClass: 3, Env: "samsung", Pred: 3, Score: 0.912345, TopK: []int{3, 1, 0}},
+		{ItemID: 2, Angle: 0, TrueClass: 0, Env: "iphone", Pred: 1, Score: 0.5, TopK: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("got %d records", len(back))
+	}
+	for i, r := range records {
+		b := back[i]
+		if b.ItemID != r.ItemID || b.Angle != r.Angle || b.TrueClass != r.TrueClass ||
+			b.Env != r.Env || b.Pred != r.Pred {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, b, r)
+		}
+		if b.Score < r.Score-1e-6 || b.Score > r.Score+1e-6 {
+			t.Fatalf("score %v vs %v", b.Score, r.Score)
+		}
+		if len(b.TopK) != len(r.TopK) {
+			t.Fatalf("topk %v vs %v", b.TopK, r.TopK)
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var records []*Record
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			r := &Record{
+				ItemID:    rng.Intn(1000),
+				Angle:     rng.Intn(5),
+				TrueClass: rng.Intn(5),
+				Env:       []string{"a", "b", "c"}[rng.Intn(3)],
+				Pred:      rng.Intn(5),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			}
+			for k := 0; k < rng.Intn(4); k++ {
+				r.TopK = append(r.TopK, rng.Intn(5))
+			}
+			records = append(records, r)
+		}
+		var buf bytes.Buffer
+		if WriteCSV(&buf, records) != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil || len(back) != len(records) {
+			return false
+		}
+		// Instability must survive the round trip exactly.
+		return Compute(back) == Compute(records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"not,a,header\n1,2,3",
+		"item_id,angle,true_class,env,pred,score,topk\nx,0,0,a,0,0.5,\n",
+		"item_id,angle,true_class,env,pred,score,topk\n1,0,0,a,0,notafloat,\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Fatalf("accepted garbage input %q", input)
+		}
+	}
+}
+
+func TestReportBreakdowns(t *testing.T) {
+	records := []*Record{
+		rec(1, 0, 0, "A", 0, 0.9), rec(1, 0, 0, "B", 1, 0.8), // unstable
+		rec(2, 1, 1, "A", 1, 0.9), rec(2, 1, 1, "B", 1, 0.9), // stable
+	}
+	rep := NewReport(records)
+	if rep.Total.Unstable != 1 || rep.Total.Groups != 2 {
+		t.Fatalf("total %+v", rep.Total)
+	}
+	if rep.ByEnv["A"] != 1.0 || rep.ByEnv["B"] != 0.5 {
+		t.Fatalf("by env %+v", rep.ByEnv)
+	}
+	if rep.ByClass[0].Unstable != 1 || rep.ByClass[1].Unstable != 0 {
+		t.Fatalf("by class %+v", rep.ByClass)
+	}
+	pair, s := rep.WorstPair()
+	if pair != "A|B" || s.Unstable != 1 {
+		t.Fatalf("worst pair %q %+v", pair, s)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf, []string{"water bottle", "beer bottle"})
+	out := buf.String()
+	for _, want := range []string{"instability:", "accuracy[A]", "water bottle", "worst pair: A|B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package train implements model training for the reproduction: standard
+// cross-entropy pre-training ("pre-trained on ImageNet" stand-in) and the
+// paper's stability fine-tuning (§9.1) — the adapted Zheng et al. stability
+// training with four noise-generation schemes (Gaussian, distortion,
+// two-images, subsample) and two stability losses (relative entropy and
+// embedding distance).
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the shared optimization hyperparameters.
+type Config struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	ClipNorm    float64 // 0 disables gradient clipping
+	Seed        int64
+	// Verbose emits one line per epoch via the Log callback.
+	Log func(format string, args ...any)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// resizeToModel scales an image to the model's input resolution.
+func resizeToModel(m *nn.Model, im *imaging.Image) *imaging.Image {
+	if im.W == m.InputHW && im.H == m.InputHW {
+		return im
+	}
+	return imaging.Resize(im, m.InputHW, m.InputHW)
+}
+
+// Classifier trains the model with plain cross-entropy on the given images,
+// returning the final training loss. This is the repo's stand-in for
+// ImageNet pre-training and for the paper's "no noise" fine-tuning baseline.
+func Classifier(m *nn.Model, images []*imaging.Image, labels []int, cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	if len(images) != len(labels) {
+		panic("train: images/labels length mismatch")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	idx := make([]int, len(images))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batchImages := make([]*imaging.Image, 0, end-start)
+			batchLabels := make([]int, 0, end-start)
+			for _, i := range idx[start:end] {
+				batchImages = append(batchImages, resizeToModel(m, images[i]))
+				batchLabels = append(batchLabels, labels[i])
+			}
+			x := imaging.BatchTensor(batchImages)
+			m.ZeroGrad()
+			logits, _ := m.Forward(x, true)
+			loss, grad := nn.CrossEntropy(logits, batchLabels)
+			m.Backward(grad, nil)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.Params(), cfg.ClipNorm)
+			}
+			opt.Step(m.Params())
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		cfg.logf("epoch %d/%d: loss %.4f", epoch+1, cfg.Epochs, lastLoss)
+	}
+	return lastLoss
+}
+
+// Evaluate runs the model in eval mode over images (resized as needed) and
+// returns top-1 predictions, their confidences, and full probability rows.
+func Evaluate(m *nn.Model, images []*imaging.Image, batchSize int) (preds []int, scores []float64, probs [][]float64) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	preds = make([]int, len(images))
+	scores = make([]float64, len(images))
+	probs = make([][]float64, len(images))
+	for start := 0; start < len(images); start += batchSize {
+		end := start + batchSize
+		if end > len(images) {
+			end = len(images)
+		}
+		batch := make([]*imaging.Image, end-start)
+		for i := start; i < end; i++ {
+			batch[i-start] = resizeToModel(m, images[i])
+		}
+		p := m.Predict(imaging.BatchTensor(batch))
+		for i := start; i < end; i++ {
+			bi := i - start
+			pred := nn.Argmax(p, bi)
+			preds[i] = pred
+			row := make([]float64, m.Classes)
+			for c := 0; c < m.Classes; c++ {
+				row[c] = float64(p.At(bi, c))
+			}
+			probs[i] = row
+			scores[i] = row[pred]
+		}
+	}
+	return preds, scores, probs
+}
+
+// TopKOf extracts per-example top-k class lists from probability rows.
+func TopKOf(probs [][]float64, k int) [][]int {
+	out := make([][]int, len(probs))
+	for i, row := range probs {
+		t := tensor.New(1, len(row))
+		for j, v := range row {
+			t.Data()[j] = float32(v)
+		}
+		out[i] = nn.TopK(t, 0, k)
+	}
+	return out
+}
+
+// String renders a config compactly for experiment logs.
+func (c Config) String() string {
+	return fmt.Sprintf("epochs=%d batch=%d lr=%g momentum=%g wd=%g", c.Epochs, c.BatchSize, c.LR, c.Momentum, c.WeightDecay)
+}
