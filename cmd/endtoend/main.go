@@ -24,6 +24,7 @@ func main() {
 	repeatItems := flag.Int("repeat-items", 30, "objects used in the within-phone experiment")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	workers := flag.Int("workers", 0, "capture concurrency (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -33,6 +34,7 @@ func main() {
 	}
 
 	rig := lab.NewRig(*seed)
+	rig.Workers = *workers
 	test := dataset.GenerateHard(*items, *seed+100)
 	angles := []int{0, 1, 2, 3, 4}
 

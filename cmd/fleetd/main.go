@@ -1,0 +1,231 @@
+// Command fleetd serves fleet-scale instability monitoring over HTTP: it
+// trains (or loads) the shared base model once, then simulates synthesized
+// device fleets on demand, streaming stability summaries while runs are in
+// flight. It is the continuous-monitoring counterpart to the one-shot
+// experiment binaries: point it at a seed and fleet size, poll /stats, and
+// watch the paper's instability metric over a population instead of five
+// lab phones.
+//
+// Endpoints:
+//
+//	GET /healthz        liveness + model info
+//	POST /run           start a fleet run (query: devices, items, seed,
+//	                    topk, scale, workers, angles=0,2,4); add stream=1
+//	                    to hold the connection and receive NDJSON
+//	                    snapshots until the run completes
+//	GET /stats          latest stats snapshot (deterministic JSON once the
+//	                    run finishes: one seed → identical bytes at any
+//	                    worker count)
+//
+// Example:
+//
+//	fleetd -train-items 150 -epochs 4 &
+//	curl -X POST 'localhost:8470/run?devices=1000&items=8&seed=7&stream=1'
+//	curl localhost:8470/stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/lab"
+	"repro/internal/nn"
+)
+
+// server owns the trained model and at most one fleet run at a time.
+type server struct {
+	factory fleet.ModelFactory
+	params  int
+
+	mu     sync.Mutex
+	runner *fleet.Runner // latest run (possibly still in flight)
+}
+
+func main() {
+	addr := flag.String("addr", ":8470", "listen address")
+	modelPath := flag.String("model", "", "base-model snapshot path (trains if missing)")
+	trainItems := flag.Int("train-items", 300, "base-model training items")
+	epochs := flag.Int("epochs", 6, "base-model training epochs")
+	seed := flag.Int64("train-seed", 7, "base-model training seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	cfg := lab.DefaultBaseModel()
+	cfg.Seed, cfg.TrainItems, cfg.Epochs = *seed, *trainItems, *epochs
+	model, err := lab.LoadOrTrainBaseModel(cfg, *modelPath, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := func() *nn.Model {
+		mcfg := nn.DefaultConfig(int(dataset.NumClasses))
+		mcfg.Width = cfg.Width
+		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(cfg.Seed)), mcfg)
+	}
+	s := &server{factory: fleet.Replicator(arch, model), params: model.NumParams()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stats", s.handleStats)
+	log.Printf("fleetd listening on %s (model: %d params)", *addr, s.params)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_params": s.params})
+}
+
+// handleRun starts a fleet run. Only one run may be in flight.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg, err := parseConfig(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if s.runner != nil {
+		if done, total, _ := s.runner.Progress(); done < total {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusConflict, map[string]any{"error": "a fleet run is already in flight"})
+			return
+		}
+	}
+	runner := fleet.NewRunner(cfg, s.factory)
+	s.runner = runner
+	s.mu.Unlock()
+
+	done := runner.Start()
+	log.Printf("run started: devices=%d items=%d seed=%d", runner.Config().Devices, runner.Config().Items, runner.Config().Seed)
+
+	if r.URL.Query().Get("stream") == "" {
+		writeJSON(w, http.StatusAccepted, map[string]any{"started": true, "config": runner.Config()})
+		return
+	}
+
+	// Streaming mode: NDJSON snapshots while the run is in flight, then
+	// the final deterministic snapshot.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.Write(append(runner.Stats().JSON(), '\n'))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-done:
+			w.Write(append(runner.Stats().JSON(), '\n'))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			log.Printf("run finished: %d captures", mustCaptures(runner))
+			return
+		case <-r.Context().Done():
+			return // client went away; the run keeps going
+		}
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runner := s.runner
+	s.mu.Unlock()
+	if runner == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no fleet run yet; POST /run first"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(runner.Stats().JSON())
+}
+
+// parseConfig reads fleet.Config fields from query parameters.
+func parseConfig(r *http.Request) (fleet.Config, error) {
+	q := r.URL.Query()
+	var cfg fleet.Config
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"devices": &cfg.Devices,
+		"items":   &cfg.Items,
+		"topk":    &cfg.TopK,
+		"scale":   &cfg.Scale,
+		"workers": &cfg.Workers,
+	} {
+		if err := intParam(name, dst); err != nil {
+			return cfg, err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed: %v", err)
+		}
+		cfg.Seed = n
+	}
+	if v := q.Get("angles"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			a, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || a < 0 || a >= dataset.NumAngles {
+				return cfg, fmt.Errorf("bad angle %q (want 0..%d)", part, dataset.NumAngles-1)
+			}
+			cfg.Angles = append(cfg.Angles, a)
+		}
+	}
+	// Caps keep one request from exhausting the host: devices bounds the
+	// run length, items bounds the synchronous dataset generation in
+	// NewRunner, workers bounds goroutines and per-worker model replicas.
+	for _, lim := range []struct {
+		name string
+		val  int
+		max  int
+	}{
+		{"devices", cfg.Devices, 1_000_000},
+		{"items", cfg.Items, 100_000},
+		{"workers", cfg.Workers, 1024},
+		{"scale", cfg.Scale, dataset.SceneSize / 8},
+		{"topk", cfg.TopK, int(dataset.NumClasses)},
+	} {
+		if lim.val > lim.max {
+			return cfg, fmt.Errorf("%s=%d exceeds the cap of %d", lim.name, lim.val, lim.max)
+		}
+	}
+	return cfg, nil
+}
+
+func mustCaptures(r *fleet.Runner) int {
+	_, _, captures := r.Progress()
+	return captures
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,88 @@
+// Fleetscale: the paper's characterization, scaled from five lab phones to
+// a synthesized device fleet. It trains the shared classifier, simulates a
+// few hundred heterogeneous devices jittered from the lab-phone bases, and
+// compares fleet-level instability against the original five-phone rig —
+// the question a team shipping to millions of devices actually faces: does
+// the five-phone lab number survive contact with a population?
+//
+// Run with:
+//
+//	go run ./examples/fleetscale [-devices 250]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/lab"
+	"repro/internal/nn"
+	"repro/internal/stability"
+)
+
+func main() {
+	devices := flag.Int("devices", 250, "synthesized fleet size")
+	items := flag.Int("items", 8, "objects photographed per device")
+	seed := flag.Int64("seed", 42, "fleet seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	log.Println("training base model...")
+	cfg := lab.BaseModelConfig{Seed: 7, TrainItems: 150, Epochs: 4, Width: 1}
+	model, err := lab.LoadOrTrainBaseModel(cfg, "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := func() *nn.Model {
+		mcfg := nn.DefaultConfig(int(dataset.NumClasses))
+		mcfg.Width = cfg.Width
+		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(cfg.Seed)), mcfg)
+	}
+
+	// Baseline: the paper's five-phone rig on the same number of objects.
+	rig := lab.NewRig(*seed)
+	angles := []int{0, 2, 4}
+	test := dataset.GenerateHard(*items, *seed+100)
+	log.Printf("lab baseline: %d phones x %d objects x %d angles...", len(rig.Phones), *items, len(angles))
+	labRecords := lab.Classify(model, rig.CaptureAll(test.Items, angles), 3)
+	labSummary := stability.Compute(labRecords)
+
+	// Fleet: devices synthesized from the same five bases.
+	log.Printf("simulating %d-device fleet...", *devices)
+	runner := fleet.NewRunner(fleet.Config{
+		Devices: *devices,
+		Items:   *items,
+		Angles:  angles,
+		Seed:    *seed,
+		TopK:    3,
+	}, fleet.Replicator(arch, model))
+	stats := runner.Run()
+
+	fmt.Printf("\n=== Five-phone lab rig ===\n")
+	fmt.Printf("instability: %s   accuracy: %.1f%%\n", labSummary, stability.Accuracy(labRecords, "")*100)
+
+	fmt.Printf("\n=== %d-device synthesized fleet ===\n", *devices)
+	fmt.Printf("instability: %d/%d unstable (%.2f%%)   accuracy: %.1f%%   top-%d accuracy: %.1f%%\n",
+		stats.Top1.Unstable, stats.Top1.Groups, stats.Top1.Percent,
+		stats.Accuracy*100, runner.Config().TopK, stats.TopKAccuracy*100)
+	fmt.Printf("captures: %d   mean photo: %.0f bytes   mean confidence: %.2f\n",
+		stats.Captures, stats.CaptureBytes.Mean, stats.Score.Mean)
+
+	fmt.Println("\nWithin-cohort instability (devices jittered from one base model line):")
+	for _, c := range stats.ByCohort {
+		fmt.Println(lab.Bar(c.Cohort, c.Top1.Percent, 100, 36))
+	}
+
+	fmt.Println("\nInstability by true class:")
+	for _, cs := range stats.ByClass {
+		fmt.Println(lab.Bar(dataset.Class(cs.Class).String(), cs.Top1.Percent, 100, 36))
+	}
+
+	fmt.Printf("\nThe fleet's group count is the same (%d shared inputs), but every\n", stats.Top1.Groups)
+	fmt.Println("input is now seen by hundreds of environments: one flake anywhere")
+	fmt.Println("marks the group unstable, which is why fleet instability dominates")
+	fmt.Println("the five-phone figure — the paper's lab number is a lower bound.")
+}

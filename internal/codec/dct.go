@@ -53,7 +53,10 @@ func basisFor(n int) *dctBasis {
 // 1-D transforms. src and dst may alias.
 func (b *dctBasis) forward2D(dst, src []float32) {
 	n := b.n
-	tmp := make([]float32, n*n)
+	// Blocks are at most 16×16; a fixed array keeps the scratch on the
+	// stack in this per-block hot path.
+	var tmpArr [256]float32
+	tmp := tmpArr[:n*n]
 	// rows
 	for y := 0; y < n; y++ {
 		row := src[y*n : (y+1)*n]
@@ -82,7 +85,8 @@ func (b *dctBasis) forward2D(dst, src []float32) {
 // inverse2D computes the 2-D inverse DCT of an n×n block.
 func (b *dctBasis) inverse2D(dst, src []float32) {
 	n := b.n
-	tmp := make([]float32, n*n)
+	var tmpArr [256]float32
+	tmp := tmpArr[:n*n]
 	// columns
 	for x := 0; x < n; x++ {
 		for i := 0; i < n; i++ {

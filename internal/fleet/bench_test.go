@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/imaging"
+	"repro/internal/stability"
+)
+
+// The capture benchmarks compare the fleet hot path against the sequential
+// lab-rig path on the same work unit (one photograph of a displayed item),
+// so `go test -bench=Capture ./internal/fleet` prints the speedup the
+// subsystem exists for: the rig pays a full-resolution display pass plus an
+// interpreted ISP per capture, the fleet amortizes the display across the
+// fleet and runs compiled ISPs at model resolution.
+
+// benchCells enumerates a realistic capture mix: many devices over a few
+// shared items and angles.
+const (
+	benchItems  = 4
+	benchAngles = 3
+)
+
+// BenchmarkSequentialRigCapture reproduces the per-capture cost of the
+// five-phone rig: scene rendered once per cell (as Rig.CaptureAll does),
+// display + full-resolution capture per photograph.
+func BenchmarkSequentialRigCapture(b *testing.B) {
+	items := dataset.GenerateHard(benchItems, 3).Items
+	phones := device.LabPhones()
+	screen := dataset.DefaultScreen()
+	// Pre-render scenes: CaptureAll renders each (item, angle) once and
+	// reuses it across phones, so rendering is not part of the per-capture
+	// cost there either.
+	scenes := map[[2]int]*imaging.Image{}
+	for _, it := range items {
+		for a := 0; a < benchAngles; a++ {
+			scenes[[2]int{it.ID, a}] = it.Render(a)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%benchItems]
+		a := i % benchAngles
+		phone := phones[i%len(phones)]
+		rng := rand.New(rand.NewSource(int64(i)))
+		displayed := screen.Display(scenes[[2]int{it.ID, a}], rng)
+		_ = phone.Capture(displayed, rng)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "captures/sec")
+}
+
+// BenchmarkFleetCapture measures the fleet engine on the same mix: shared
+// cached display, fused ISP, model-resolution captures.
+func BenchmarkFleetCapture(b *testing.B) {
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	// Warm the device and displayed-frame caches; steady-state fleet runs
+	// reuse both across thousands of captures.
+	devices := make([]*Device, 64)
+	for i := range devices {
+		devices[i] = gen.Device(i)
+	}
+	for _, it := range items {
+		for a := 0; a < benchAngles; a++ {
+			engine.Displayed(it, a)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = engine.Capture(devices[i%len(devices)], items[i%benchItems], i%benchAngles)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "captures/sec")
+}
+
+// BenchmarkFleetPoolCapture drives captures through the worker pool — the
+// deployed configuration. On multi-core hosts this stacks core-parallelism
+// on top of the single-threaded speedup.
+func BenchmarkFleetPoolCapture(b *testing.B) {
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	devices := make([]*Device, 64)
+	for i := range devices {
+		devices[i] = gen.Device(i)
+	}
+	for _, it := range items {
+		for a := 0; a < benchAngles; a++ {
+			engine.Displayed(it, a)
+		}
+	}
+	b.ResetTimer()
+	NewPool(0).Run(b.N, func(i int) {
+		_, _ = engine.Capture(devices[i%len(devices)], items[i%benchItems], i%benchAngles)
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "captures/sec")
+}
+
+// BenchmarkAccumulatorAdd measures streaming aggregation throughput: the
+// aggregator must keep up with every worker's record stream.
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	records := make([]*stability.Record, 4096)
+	for i := range records {
+		records[i] = &stability.Record{
+			ItemID:    rng.Intn(64),
+			Angle:     rng.Intn(5),
+			TrueClass: rng.Intn(5),
+			Env:       "device-" + string(rune('a'+rng.Intn(26))),
+			Pred:      rng.Intn(5),
+			Score:     rng.Float64(),
+			TopK:      []int{rng.Intn(5), rng.Intn(5), rng.Intn(5)},
+		}
+		records[i].TrueClass = records[i].ItemID % 5
+	}
+	acc := stability.NewAccumulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(records[i%len(records)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkGeneratorSynthesize measures cold device synthesis (profile
+// jitter + ISP compilation), the cost an LRU miss pays.
+func BenchmarkGeneratorSynthesize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen := NewGenerator(int64(i), 2, 1)
+		_ = gen.Device(i % 4096)
+	}
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+)
+
+// Engine is the fleet capture hot path: it turns (device, item, angle)
+// cells into decoded photos the way the lab rig does, with the
+// scale-critical differences:
+//
+//   - Captures run at SceneSize/Scale resolution (default half, which is
+//     exactly the model's input size, so inference skips its resize too).
+//   - The displayed monitor frame is rendered once per (item, angle) and
+//     shared by every device through an LRU — physically, the fleet's
+//     phones photograph the same screen refresh simultaneously, so they
+//     see the same flicker state; computationally, the per-pixel display
+//     transfer is amortized over the whole fleet.
+//   - Each device's ISP runs through its fused (compiled) form.
+//
+// All randomness is cell-seeded, so captures are bit-identical regardless
+// of which worker executes them.
+type Engine struct {
+	Screen dataset.ScreenParams
+	Seed   int64
+	Scale  int // resolution divisor relative to dataset.SceneSize
+
+	scenes *LRU[sceneKey, *imaging.Image]
+}
+
+type sceneKey struct{ item, angle int }
+
+// NewEngine returns an engine with the default screen, the given capture
+// scale divisor (0 → 2), and a displayed-frame cache of cacheCap entries
+// (0 → 512).
+func NewEngine(seed int64, scale, cacheCap int) *Engine {
+	if scale <= 0 {
+		scale = 2
+	}
+	if cacheCap <= 0 {
+		cacheCap = 512
+	}
+	return &Engine{
+		Screen: dataset.DefaultScreen(),
+		Seed:   seed,
+		Scale:  scale,
+		scenes: NewLRU[sceneKey, *imaging.Image](cacheCap),
+	}
+}
+
+// Displayed returns the monitor's emitted frame for one item/angle at fleet
+// resolution. Frames are cached and shared across devices; callers must not
+// mutate the result.
+func (e *Engine) Displayed(it *dataset.Item, angle int) *imaging.Image {
+	return e.scenes.GetOrCompute(sceneKey{it.ID, angle}, func() *imaging.Image {
+		scene := it.Render(angle)
+		if e.Scale > 1 {
+			scene = imaging.Resize(scene, scene.W/e.Scale, scene.H/e.Scale)
+		}
+		rng := cellRNG(e.Seed, 1, int64(it.ID), int64(angle))
+		return e.Screen.Display(scene, rng)
+	})
+}
+
+// Capture photographs one cell: shared displayed frame → device sensor →
+// fused ISP → native codec → OS decode. It returns the decoded pixels (what
+// the device hands its model) and the compressed size in bytes.
+func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
+	displayed := e.Displayed(it, angle)
+	rng := cellRNG(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle))
+	raw := d.Sensor.Capture(displayed, rng)
+	processed := d.ISP.Process(raw) // freshly allocated; Clamp in place is safe
+	enc := d.Profile.Codec.Encode(processed.Clamp())
+	return enc.Decode(d.Profile.Decode), enc.Size
+}

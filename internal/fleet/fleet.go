@@ -1,0 +1,58 @@
+// Package fleet scales the paper's five-phone lab rig into a simulated
+// device fleet: thousands of heterogeneous phone profiles synthesized from
+// the lab bases, driven concurrently through capture → inference by a
+// sharded worker pool, with stability summaries aggregated online while the
+// run is in flight. It is the substrate for continuous fleet-level
+// instability monitoring (the characterization the paper performs once,
+// offline) and the scaffolding later scaling work — distributed shards,
+// multiple inference backends — plugs into.
+//
+// Determinism is the load-bearing property: every stochastic choice (device
+// synthesis, screen flicker, sensor noise) draws from an RNG seeded by a
+// hash of the fleet seed and the cell's coordinates, never from shared
+// state, so a run's results are bit-identical for any worker count.
+package fleet
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// mix derives a well-distributed sub-seed from a base seed and coordinate
+// values (splitmix64 finalizer per value). Sub-streams for different
+// coordinates are statistically independent, which per-cell rand.Rand
+// instances need: adjacent plain seeds produce correlated first draws.
+func mix(seed int64, vals ...int64) int64 {
+	z := uint64(seed)
+	for _, v := range vals {
+		z += uint64(v)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// cellRNG returns the dedicated RNG for one simulation cell.
+func cellRNG(seed int64, vals ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(mix(seed, vals...)))
+}
+
+// ModelFactory builds one private model replica. The nn layers cache
+// forward activations even in eval mode, so concurrent workers cannot share
+// one *nn.Model; the pool calls the factory once per worker and caches the
+// replicas. Factories typically rebuild the architecture and restore a
+// snapshot of the trained weights.
+type ModelFactory func() *nn.Model
+
+// Replicator adapts a trained model into a ModelFactory: it snapshots the
+// weights once and stamps them into a fresh architecture per call.
+func Replicator(arch func() *nn.Model, trained *nn.Model) ModelFactory {
+	snap := trained.TakeSnapshot()
+	return func() *nn.Model {
+		m := arch()
+		m.Restore(snap)
+		return m
+	}
+}

@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// testFactory builds a tiny untrained (but weight-deterministic) model:
+// determinism tests care about reproducibility, not accuracy, and skipping
+// training keeps the suite fast under -race.
+func testFactory() ModelFactory {
+	return func() *nn.Model {
+		cfg := nn.DefaultConfig(int(dataset.NumClasses))
+		cfg.Width = 0.4
+		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(5)), cfg)
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("get 1 = %q, %v", v, ok)
+	}
+	c.Put(3, "c") // evicts 2 (least recently used after the Get of 1)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 not evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 evicted despite being recently used")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestLRUGetOrCompute(t *testing.T) {
+	c := NewLRU[int, int](4)
+	calls := 0
+	f := func() int { calls++; return 7 }
+	if v := c.GetOrCompute(1, f); v != 7 {
+		t.Fatalf("computed %d", v)
+	}
+	if v := c.GetOrCompute(1, f); v != 7 || calls != 1 {
+		t.Fatalf("recompute: v=%d calls=%d", v, calls)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := i % 16
+				if v := c.GetOrCompute(k, func() int { return k * 10 }); v != k*10 {
+					t.Errorf("key %d → %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPoolCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		counts := make([]int, 100)
+		var mu sync.Mutex
+		NewPool(workers).Run(100, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, n := range counts {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestPoolWorkerIDsInRange(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	NewPool(4).RunWorker(64, func(worker, _ int) {
+		mu.Lock()
+		seen[worker] = true
+		mu.Unlock()
+	})
+	for w := range seen {
+		if w < 0 || w >= 4 {
+			t.Fatalf("worker id %d out of range", w)
+		}
+	}
+}
+
+func TestPoolZeroTasks(t *testing.T) {
+	NewPool(4).Run(0, func(int) { t.Fatal("called") })
+}
+
+func TestGeneratorDeterministicAcrossEviction(t *testing.T) {
+	g := NewGenerator(11, 2, 2) // tiny cache forces resynthesis
+	first := g.Device(0).Profile.Sensor.Params
+	g.Device(1)
+	g.Device(2)
+	g.Device(3) // 0 long evicted
+	if again := g.Device(0).Profile.Sensor.Params; again != first {
+		t.Fatalf("device 0 changed after eviction: %+v vs %+v", again, first)
+	}
+}
+
+func TestGeneratorCohortRoundRobin(t *testing.T) {
+	g := NewGenerator(11, 2, 64)
+	cohorts := g.Cohorts()
+	for i := 0; i < 12; i++ {
+		d := g.Device(i)
+		if d.Cohort != cohorts[i%len(cohorts)] {
+			t.Fatalf("device %d cohort %q, want %q", i, d.Cohort, cohorts[i%len(cohorts)])
+		}
+		if d.ID != i {
+			t.Fatalf("device %d has ID %d", i, d.ID)
+		}
+	}
+}
+
+func TestGeneratorDevicesDiffer(t *testing.T) {
+	g := NewGenerator(11, 2, 64)
+	a, b := g.Device(0), g.Device(5) // same cohort (round robin of 5 bases)
+	if a.Cohort != b.Cohort {
+		t.Fatalf("expected same cohort, got %q vs %q", a.Cohort, b.Cohort)
+	}
+	if a.Profile.Sensor.Params == b.Profile.Sensor.Params {
+		t.Fatal("two fleet devices share identical sensors")
+	}
+}
+
+func TestEngineCaptureDeterministic(t *testing.T) {
+	items := dataset.GenerateHard(2, 3).Items
+	g := NewGenerator(7, 2, 16)
+	a, _ := NewEngine(7, 2, 16).Capture(g.Device(1), items[0], 2)
+	b, _ := NewEngine(7, 2, 16).Capture(g.Device(1), items[0], 2)
+	if !bytes.Equal(a.ToBytes(), b.ToBytes()) {
+		t.Fatal("same cell captured differently across engines")
+	}
+}
+
+func TestEngineSharesDisplayedFrame(t *testing.T) {
+	items := dataset.GenerateHard(1, 3).Items
+	e := NewEngine(7, 2, 16)
+	a := e.Displayed(items[0], 0)
+	b := e.Displayed(items[0], 0)
+	if a != b {
+		t.Fatal("displayed frame not shared via cache")
+	}
+	if a.W != dataset.SceneSize/2 {
+		t.Fatalf("fleet frame width %d, want %d", a.W, dataset.SceneSize/2)
+	}
+}
+
+// runStats executes one fleet run and returns its final JSON.
+func runStats(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	r := NewRunner(cfg, testFactory())
+	stats := r.Run()
+	if done, total, _ := r.Progress(); done != total {
+		t.Fatalf("run finished with %d/%d devices", done, total)
+	}
+	if stats.DevicesDone != cfg.Devices || stats.Records == 0 {
+		t.Fatalf("stats incomplete: %+v", stats)
+	}
+	return stats.JSON()
+}
+
+// TestFleetDeterministicAcrossWorkerCounts is the core reproducibility
+// property: one seed, worker counts 1, 4 and 16, byte-identical stats.
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := Config{Devices: 36, Items: 2, Angles: []int{1}, Seed: 99, TopK: 3}
+	var first []byte
+	for _, workers := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Workers = workers
+		got := runStats(t, cfg)
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatalf("workers=%d stats diverged:\n%s\nvs\n%s", workers, got, first)
+		}
+	}
+}
+
+// TestFleetThousandDevicesDeterministic is the acceptance-scale run: ≥1000
+// synthesized devices, byte-identical stats for 1 and 16 workers. Skipped
+// in -short mode (it is the suite's slowest test).
+func TestFleetThousandDevicesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-device fleet run skipped in -short mode")
+	}
+	base := Config{Devices: 1000, Items: 1, Angles: []int{2}, Seed: 424242, TopK: 3}
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg16 := base
+	cfg16.Workers = 16
+	a := runStats(t, cfg1)
+	b := runStats(t, cfg16)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("1000-device stats diverged between 1 and 16 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFleetStatsShape sanity-checks the aggregates of a small run.
+func TestFleetStatsShape(t *testing.T) {
+	cfg := Config{Devices: 10, Items: 2, Angles: []int{0, 2}, Seed: 5, Workers: 4}
+	r := NewRunner(cfg, testFactory())
+	s := r.Run()
+	wantRecords := 10 * 2 * 2
+	if s.Records != wantRecords || s.Captures != wantRecords {
+		t.Fatalf("records=%d captures=%d, want %d", s.Records, s.Captures, wantRecords)
+	}
+	if s.Top1.Groups != 4 { // 2 items × 2 angles
+		t.Fatalf("groups=%d, want 4", s.Top1.Groups)
+	}
+	if len(s.ByCohort) != 5 {
+		t.Fatalf("cohorts=%d, want 5", len(s.ByCohort))
+	}
+	devices := 0
+	for _, c := range s.ByCohort {
+		devices += c.Devices
+	}
+	if devices != cfg.Devices {
+		t.Fatalf("cohort devices sum %d, want %d", devices, cfg.Devices)
+	}
+	if s.Score.N != wantRecords || s.CaptureBytes.N != wantRecords {
+		t.Fatalf("online Ns %d/%d, want %d", s.Score.N, s.CaptureBytes.N, wantRecords)
+	}
+	if s.CaptureBytes.Mean <= 0 {
+		t.Fatal("capture bytes mean not positive")
+	}
+	if s.Accuracy < 0 || s.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of range", s.Accuracy)
+	}
+}
+
+// TestFleetInFlightSnapshot takes a snapshot mid-run (via Start) and checks
+// it is well-formed and monotone with respect to the final one.
+func TestFleetInFlightSnapshot(t *testing.T) {
+	cfg := Config{Devices: 12, Items: 1, Angles: []int{0}, Seed: 8, Workers: 2}
+	r := NewRunner(cfg, testFactory())
+	done := r.Start()
+	mid := r.Stats() // may see anywhere from 0 to all devices
+	if mid.DevicesDone < 0 || mid.DevicesDone > cfg.Devices {
+		t.Fatalf("mid-run devices done %d", mid.DevicesDone)
+	}
+	<-done
+	final := r.Stats()
+	if final.DevicesDone != cfg.Devices {
+		t.Fatalf("final devices done %d", final.DevicesDone)
+	}
+	if mid.Records > final.Records {
+		t.Fatalf("records went backwards: %d → %d", mid.Records, final.Records)
+	}
+}

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a small thread-safe least-recently-used cache. The fleet uses it
+// for synthesized device profiles (rebuild on miss is deterministic, so
+// eviction only costs time), displayed scene frames shared across devices,
+// and per-worker model replicas.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruEntry[K,V]
+	items    map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns a cache holding at most capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{capacity: capacity, order: list.New(), items: map[K]*list.Element{}}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *LRU[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// GetOrCompute returns the cached value, computing and inserting it on a
+// miss. The computation runs outside the lock; two concurrent misses on one
+// key may both compute (fleet computations are deterministic, so the
+// duplicates are identical and the race is benign — only one result is
+// kept).
+func (c *LRU[K, V]) GetOrCompute(k K, compute func() V) V {
+	if v, ok := c.Get(k); ok {
+		return v
+	}
+	v := compute()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Another worker inserted while we computed; keep theirs so all
+		// holders share one instance.
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+	return v
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

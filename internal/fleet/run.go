@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/stability"
+	"repro/internal/train"
+)
+
+// Config parameterizes one fleet run. The zero value of any field selects a
+// sensible default; Seed and Devices are what callers usually set.
+type Config struct {
+	// Devices is the fleet size (default 100).
+	Devices int `json:"devices"`
+	// Items is the number of evaluation objects each device photographs
+	// (default 8), drawn from the hard distribution like the paper's test
+	// captures.
+	Items int `json:"items"`
+	// Angles are the camera angles photographed per item (default 0,2,4).
+	Angles []int `json:"angles"`
+	// Seed drives all synthesis and capture randomness; a fixed seed
+	// reproduces the run bit-for-bit at any worker count.
+	Seed int64 `json:"seed"`
+	// TopK is the recorded top-k list length (default 3).
+	TopK int `json:"topk"`
+	// Scale divides the capture resolution (default 2: half-resolution
+	// captures, matching the model input).
+	Scale int `json:"scale"`
+	// Workers is the pool concurrency (default GOMAXPROCS). It never
+	// affects results, only wall time; it is excluded from Stats for that
+	// reason.
+	Workers int `json:"-"`
+	// BatchSize is the inference batch (default 64).
+	BatchSize int `json:"-"`
+	// DeviceCache and SceneCache bound the LRU sizes (defaults 4096/512).
+	DeviceCache int `json:"-"`
+	SceneCache  int `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices <= 0 {
+		c.Devices = 100
+	}
+	if c.Items <= 0 {
+		c.Items = 8
+	}
+	if len(c.Angles) == 0 {
+		c.Angles = []int{0, 2, 4}
+	}
+	if c.TopK <= 0 {
+		c.TopK = 3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// deviceSlot is one device's deterministic per-device aggregates, written
+// only by the worker that ran the device and merged in ID order at snapshot
+// time (so float accumulation order never depends on scheduling).
+type deviceSlot struct {
+	done   atomic.Bool
+	cohort string
+	score  metrics.Online
+	bytes  metrics.Online
+}
+
+// Runner executes a fleet run: it owns the generator, capture engine,
+// worker pool, per-worker model replicas and the streaming aggregators.
+type Runner struct {
+	cfg     Config
+	factory ModelFactory
+	gen     *Generator
+	engine  *Engine
+	pool    *Pool
+	// models holds one replica per pool worker, built lazily; worker ids
+	// are a dense range and each id is a single goroutine, so a plain
+	// slice needs no locking and nothing ever evicts.
+	models []*nn.Model
+	items  []*dataset.Item
+
+	acc        *stability.Accumulator
+	cohortAccs map[string]*stability.Accumulator
+	slots      []*deviceSlot
+
+	devicesDone  atomic.Int64
+	capturesDone atomic.Int64
+
+	startOnce sync.Once
+	done      chan struct{}
+}
+
+// NewRunner prepares a run; no work happens until Start or Run.
+func NewRunner(cfg Config, factory ModelFactory) *Runner {
+	cfg = cfg.withDefaults()
+	gen := NewGenerator(cfg.Seed, cfg.Scale, cfg.DeviceCache)
+	pool := NewPool(cfg.Workers)
+	r := &Runner{
+		cfg:        cfg,
+		factory:    factory,
+		gen:        gen,
+		engine:     NewEngine(cfg.Seed, cfg.Scale, cfg.SceneCache),
+		pool:       pool,
+		models:     make([]*nn.Model, pool.WorkersFor(cfg.Devices)),
+		items:      dataset.GenerateHard(cfg.Items, mix(cfg.Seed, 3)).Items,
+		acc:        stability.NewAccumulator(),
+		cohortAccs: map[string]*stability.Accumulator{},
+		slots:      make([]*deviceSlot, cfg.Devices),
+		done:       make(chan struct{}),
+	}
+	for _, cohort := range gen.Cohorts() {
+		r.cohortAccs[cohort] = stability.NewAccumulator()
+	}
+	for i := range r.slots {
+		r.slots[i] = &deviceSlot{}
+	}
+	return r
+}
+
+// Start launches the run in the background, returning a channel closed on
+// completion. Stats may be called at any time for an in-flight snapshot.
+func (r *Runner) Start() <-chan struct{} {
+	r.startOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			r.pool.RunWorker(r.cfg.Devices, r.runDevice)
+		}()
+	})
+	return r.done
+}
+
+// Run executes the fleet synchronously and returns the final stats.
+func (r *Runner) Run() Stats {
+	<-r.Start()
+	return r.Stats()
+}
+
+// Progress reports devices completed, total devices, and captures taken.
+func (r *Runner) Progress() (done, total, captures int) {
+	return int(r.devicesDone.Load()), r.cfg.Devices, int(r.capturesDone.Load())
+}
+
+// Config returns the (defaulted) run configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// runDevice simulates one fleet member end-to-end on one worker.
+func (r *Runner) runDevice(worker, id int) {
+	d := r.gen.Device(id)
+	model := r.models[worker]
+	if model == nil {
+		model = r.factory()
+		r.models[worker] = model
+	}
+
+	cells := len(r.items) * len(r.cfg.Angles)
+	images := make([]*imaging.Image, 0, cells)
+	sizes := make([]int, 0, cells)
+	for _, it := range r.items {
+		for _, a := range r.cfg.Angles {
+			img, size := r.engine.Capture(d, it, a)
+			images = append(images, img)
+			sizes = append(sizes, size)
+			r.capturesDone.Add(1)
+		}
+	}
+
+	preds, scores, probs := train.Evaluate(model, images, r.cfg.BatchSize)
+	topks := train.TopKOf(probs, r.cfg.TopK)
+
+	slot := r.slots[id]
+	slot.cohort = d.Cohort
+	records := make([]*stability.Record, len(images))
+	i := 0
+	for _, it := range r.items {
+		for _, a := range r.cfg.Angles {
+			records[i] = &stability.Record{
+				ItemID:    it.ID,
+				Angle:     a,
+				TrueClass: int(it.Class),
+				Env:       d.Profile.Name,
+				Pred:      preds[i],
+				Score:     scores[i],
+				TopK:      topks[i],
+			}
+			slot.score.Observe(scores[i])
+			slot.bytes.Observe(float64(sizes[i]))
+			i++
+		}
+	}
+	r.acc.AddAll(records)
+	r.cohortAccs[d.Cohort].AddAll(records)
+	slot.done.Store(true)
+	r.devicesDone.Add(1)
+}

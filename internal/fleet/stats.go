@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/stability"
+)
+
+// OnlineStats is the JSON form of a streaming value summary.
+type OnlineStats struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func onlineStats(o metrics.Online) OnlineStats {
+	if o.N == 0 {
+		return OnlineStats{}
+	}
+	return OnlineStats{N: o.N, Mean: o.Mean(), Stddev: o.Stddev(), Min: o.MinVal, Max: o.MaxVal}
+}
+
+// InstabilityStats is one instability summary with its percentage.
+type InstabilityStats struct {
+	Groups   int     `json:"groups"`
+	Unstable int     `json:"unstable"`
+	Percent  float64 `json:"percent"`
+}
+
+func instability(s stability.Summary) InstabilityStats {
+	return InstabilityStats{Groups: s.Groups, Unstable: s.Unstable, Percent: s.Percent()}
+}
+
+// CohortStats summarizes one base-phone cohort of the synthesized fleet:
+// its within-cohort instability (divergence among devices jittered from the
+// same base) and accuracy.
+type CohortStats struct {
+	Cohort       string           `json:"cohort"`
+	Devices      int              `json:"devices"`
+	Records      int              `json:"records"`
+	Accuracy     float64          `json:"accuracy"`
+	TopKAccuracy float64          `json:"topk_accuracy"`
+	Top1         InstabilityStats `json:"top1"`
+}
+
+// ClassStats is per-true-class instability.
+type ClassStats struct {
+	Class int              `json:"class"`
+	Top1  InstabilityStats `json:"top1"`
+}
+
+// Stats is the deterministic summary of a fleet run: for one Config and
+// seed, the final Stats marshal to byte-identical JSON no matter how many
+// workers executed the run. In-flight snapshots expose the same shape with
+// partial counts.
+type Stats struct {
+	Config       Config           `json:"config"`
+	DevicesDone  int              `json:"devices_done"`
+	Captures     int              `json:"captures"`
+	Records      int              `json:"records"`
+	Accuracy     float64          `json:"accuracy"`
+	TopKAccuracy float64          `json:"topk_accuracy"`
+	Top1         InstabilityStats `json:"top1"`
+	TopK         InstabilityStats `json:"topk"`
+	ByCohort     []CohortStats    `json:"by_cohort"`
+	ByClass      []ClassStats     `json:"by_class"`
+	Score        OnlineStats      `json:"score"`
+	CaptureBytes OnlineStats      `json:"capture_bytes"`
+}
+
+// JSON marshals the stats with stable formatting.
+func (s Stats) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // struct of plain values; cannot fail
+		panic(err)
+	}
+	return b
+}
+
+// Stats snapshots the run's aggregates. Safe to call while the run is in
+// flight; after completion the result is final and deterministic.
+func (r *Runner) Stats() Stats {
+	snap := r.acc.Snapshot()
+	s := Stats{
+		Config:       r.cfg,
+		DevicesDone:  int(r.devicesDone.Load()),
+		Captures:     int(r.capturesDone.Load()),
+		Records:      snap.Records,
+		Accuracy:     snap.Accuracy,
+		TopKAccuracy: snap.TopKAccuracy,
+		Top1:         instability(snap.Top1),
+		TopK:         instability(snap.TopK),
+	}
+
+	classes := make([]int, 0, len(snap.ByClass))
+	for c := range snap.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		s.ByClass = append(s.ByClass, ClassStats{Class: c, Top1: instability(snap.ByClass[c])})
+	}
+
+	// Per-device aggregates merge in device-ID order so float accumulation
+	// never depends on completion order; only finished slots contribute.
+	var score, bytes metrics.Online
+	cohortDevices := map[string]int{}
+	for _, slot := range r.slots {
+		if !slot.done.Load() {
+			continue
+		}
+		score.Merge(slot.score)
+		bytes.Merge(slot.bytes)
+		cohortDevices[slot.cohort]++
+	}
+	s.Score = onlineStats(score)
+	s.CaptureBytes = onlineStats(bytes)
+
+	cohorts := r.gen.Cohorts()
+	sort.Strings(cohorts)
+	for _, cohort := range cohorts {
+		cs := r.cohortAccs[cohort].Snapshot()
+		s.ByCohort = append(s.ByCohort, CohortStats{
+			Cohort:       cohort,
+			Devices:      cohortDevices[cohort],
+			Records:      cs.Records,
+			Accuracy:     cs.Accuracy,
+			TopKAccuracy: cs.TopKAccuracy,
+			Top1:         instability(cs.Top1),
+		})
+	}
+	return s
+}

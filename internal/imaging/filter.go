@@ -1,6 +1,14 @@
 package imaging
 
-import "math"
+import (
+	"math"
+	"sync"
+)
+
+// blurScratch recycles the intermediate plane buffer of the separable blur;
+// the fleet hot path blurs every capture (lens PSF and unsharp masking) and
+// the temporary otherwise dominates its allocation profile.
+var blurScratch = sync.Pool{New: func() any { return []float32(nil) }}
 
 // GaussianBlur applies a separable Gaussian blur with the given sigma (in
 // pixels). Sigma <= 0 returns a copy.
@@ -25,12 +33,17 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	}
 
 	n := im.W * im.H
-	tmp := New(im.W, im.H)
+	tmpPix := blurScratch.Get().([]float32)
+	if cap(tmpPix) < 3*n {
+		tmpPix = make([]float32, 3*n)
+	}
+	tmpPix = tmpPix[:3*n]
+	defer blurScratch.Put(tmpPix)
 	out := New(im.W, im.H)
 	// horizontal pass
 	for p := 0; p < 3; p++ {
 		src := im.Pix[p*n:]
-		dst := tmp.Pix[p*n:]
+		dst := tmpPix[p*n:]
 		for y := 0; y < im.H; y++ {
 			row := src[y*im.W : (y+1)*im.W]
 			drow := dst[y*im.W : (y+1)*im.W]
@@ -46,7 +59,7 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	}
 	// vertical pass
 	for p := 0; p < 3; p++ {
-		src := tmp.Pix[p*n:]
+		src := tmpPix[p*n:]
 		dst := out.Pix[p*n:]
 		for y := 0; y < im.H; y++ {
 			for x := 0; x < im.W; x++ {
@@ -112,41 +125,67 @@ func UnsharpMask(im *Image, sigma float64, amount float32) *Image {
 // denoiser used by the higher-end ISP profiles.
 func MedianDenoise3(im *Image) *Image {
 	n := im.W * im.H
+	w := im.W
 	out := New(im.W, im.H)
 	var window [9]float32
 	for p := 0; p < 3; p++ {
 		src := im.Pix[p*n:]
 		dst := out.Pix[p*n:]
 		for y := 0; y < im.H; y++ {
-			for x := 0; x < im.W; x++ {
-				k := 0
-				for dy := -1; dy <= 1; dy++ {
-					yy := clampInt(y+dy, 0, im.H-1)
-					for dx := -1; dx <= 1; dx++ {
-						xx := clampInt(x+dx, 0, im.W-1)
-						window[k] = src[yy*im.W+xx]
-						k++
+			for x := 0; x < w; x++ {
+				if x >= 1 && x < w-1 && y >= 1 && y < im.H-1 {
+					i := y*w + x
+					window = [9]float32{
+						src[i-w-1], src[i-w], src[i-w+1],
+						src[i-1], src[i], src[i+1],
+						src[i+w-1], src[i+w], src[i+w+1],
+					}
+				} else {
+					k := 0
+					for dy := -1; dy <= 1; dy++ {
+						yy := clampInt(y+dy, 0, im.H-1)
+						for dx := -1; dx <= 1; dx++ {
+							xx := clampInt(x+dx, 0, w-1)
+							window[k] = src[yy*w+xx]
+							k++
+						}
 					}
 				}
-				dst[y*im.W+x] = median9(window)
+				dst[y*w+x] = median9(window)
 			}
 		}
 	}
 	return out
 }
 
-// median9 returns the median of 9 values using a partial insertion sort.
-func median9(w [9]float32) float32 {
-	for i := 1; i < 9; i++ {
-		v := w[i]
-		j := i - 1
-		for j >= 0 && w[j] > v {
-			w[j+1] = w[j]
-			j--
+// median9 returns the median of 9 values with a branch-light sorting
+// network (Paeth's 19-exchange network; Graphics Gems).
+func median9(p [9]float32) float32 {
+	s2 := func(a, b *float32) {
+		if *a > *b {
+			*a, *b = *b, *a
 		}
-		w[j+1] = v
 	}
-	return w[4]
+	s2(&p[1], &p[2])
+	s2(&p[4], &p[5])
+	s2(&p[7], &p[8])
+	s2(&p[0], &p[1])
+	s2(&p[3], &p[4])
+	s2(&p[6], &p[7])
+	s2(&p[1], &p[2])
+	s2(&p[4], &p[5])
+	s2(&p[7], &p[8])
+	s2(&p[0], &p[3])
+	s2(&p[5], &p[8])
+	s2(&p[4], &p[7])
+	s2(&p[3], &p[6])
+	s2(&p[1], &p[4])
+	s2(&p[2], &p[5])
+	s2(&p[4], &p[7])
+	s2(&p[4], &p[2])
+	s2(&p[6], &p[4])
+	s2(&p[4], &p[2])
+	return p[4]
 }
 
 func clampInt(v, lo, hi int) int {

@@ -1,0 +1,60 @@
+package imaging
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMedian9MatchesSort cross-checks the sorting network against a full
+// sort, including ties.
+func TestMedian9MatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		var w [9]float32
+		for i := range w {
+			w[i] = float32(rng.Intn(5)) // small range forces many ties
+		}
+		if trial%2 == 0 {
+			for i := range w {
+				w[i] = rng.Float32()
+			}
+		}
+		sorted := append([]float32(nil), w[:]...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if got := median9(w); got != sorted[4] {
+			t.Fatalf("trial %d: median9(%v) = %v, want %v", trial, w, got, sorted[4])
+		}
+	}
+}
+
+// TestMedianDenoiseBorders checks the border path agrees with the clamped
+// window definition on a small deterministic image.
+func TestMedianDenoiseBorders(t *testing.T) {
+	im := New(4, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	out := MedianDenoise3(im)
+	n := im.W * im.H
+	for p := 0; p < 3; p++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var window []float32
+				for dy := -1; dy <= 1; dy++ {
+					yy := clampInt(y+dy, 0, im.H-1)
+					for dx := -1; dx <= 1; dx++ {
+						xx := clampInt(x+dx, 0, im.W-1)
+						window = append(window, im.Pix[p*n+yy*im.W+xx])
+					}
+				}
+				sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+				if got := out.Pix[p*n+y*im.W+x]; got != window[4] {
+					t.Fatalf("p=%d (%d,%d): %v, want %v", p, x, y, got, window[4])
+				}
+				window = window[:0]
+			}
+		}
+	}
+}

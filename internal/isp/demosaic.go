@@ -50,30 +50,56 @@ func rawAt(raw *sensor.RawImage, x, y int) float32 {
 	return raw.Plane[y*raw.W+x]
 }
 
-// demosaicBilinear averages same-color neighbours in a 3×3 window.
+// colorTable precomputes the Bayer color of each (x parity, y parity) cell
+// so the per-pixel loops avoid a function call per tap.
+func colorTable(raw *sensor.RawImage) (ctab [2][2]int) {
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			ctab[y][x] = raw.ColorAt(x, y)
+		}
+	}
+	return ctab
+}
+
+// demosaicBilinear averages same-color neighbours in a 3×3 window. Interior
+// pixels take a branch-free direct-indexing path with identical arithmetic
+// to the reflective border path, so the split is invisible in the output.
 func demosaicBilinear(raw *sensor.RawImage) *imaging.Image {
 	im := imaging.New(raw.W, raw.H)
 	n := raw.W * raw.H
-	for y := 0; y < raw.H; y++ {
-		for x := 0; x < raw.W; x++ {
+	w, h := raw.W, raw.H
+	ctab := colorTable(raw)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
 			var acc [3]float32
 			var cnt [3]float32
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					c := raw.ColorAt(clampRef(x+dx, raw.W), clampRef(y+dy, raw.H))
-					acc[c] += rawAt(raw, x+dx, y+dy)
-					cnt[c]++
+			i := y*w + x
+			if x >= 1 && x < w-1 && y >= 1 && y < h-1 {
+				for dy := -1; dy <= 1; dy++ {
+					row := ctab[(y+dy)&1]
+					base := i + dy*w
+					for dx := -1; dx <= 1; dx++ {
+						c := row[(x+dx)&1]
+						acc[c] += raw.Plane[base+dx]
+						cnt[c]++
+					}
+				}
+			} else {
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						c := raw.ColorAt(clampRef(x+dx, raw.W), clampRef(y+dy, raw.H))
+						acc[c] += rawAt(raw, x+dx, y+dy)
+						cnt[c]++
+					}
 				}
 			}
-			i := y*raw.W + x
 			for c := 0; c < 3; c++ {
 				if cnt[c] > 0 {
 					im.Pix[c*n+i] = acc[c] / cnt[c]
 				}
 			}
 			// keep the exact sample for the native color
-			own := raw.ColorAt(x, y)
-			im.Pix[own*n+i] = raw.Plane[i]
+			im.Pix[ctab[y&1][x&1]*n+i] = raw.Plane[i]
 		}
 	}
 	return im
@@ -103,25 +129,38 @@ func demosaicEdgeAware(raw *sensor.RawImage) *imaging.Image {
 	im := imaging.New(w, h)
 	green := im.Pix[n : 2*n]
 
-	// Pass 1: green plane.
+	ctab := colorTable(raw)
+	plane := raw.Plane
+
+	// Pass 1: green plane. Interior pixels (2-pixel margin for the second-
+	// difference terms) use direct indexing; the formulas and evaluation
+	// order match the border path exactly.
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			i := y*w + x
-			if raw.ColorAt(x, y) == 1 {
-				green[i] = raw.Plane[i]
+			if ctab[y&1][x&1] == 1 {
+				green[i] = plane[i]
 				continue
 			}
-			gh := absf(rawAt(raw, x-1, y)-rawAt(raw, x+1, y)) +
-				absf(2*rawAt(raw, x, y)-rawAt(raw, x-2, y)-rawAt(raw, x+2, y))
-			gv := absf(rawAt(raw, x, y-1)-rawAt(raw, x, y+1)) +
-				absf(2*rawAt(raw, x, y)-rawAt(raw, x, y-2)-rawAt(raw, x, y+2))
+			var gh, gv float32
+			var left, right, up, down float32
+			if x >= 2 && x < w-2 && y >= 2 && y < h-2 {
+				left, right, up, down = plane[i-1], plane[i+1], plane[i-w], plane[i+w]
+				gh = absf(left-right) + absf(2*plane[i]-plane[i-2]-plane[i+2])
+				gv = absf(up-down) + absf(2*plane[i]-plane[i-2*w]-plane[i+2*w])
+			} else {
+				left, right = rawAt(raw, x-1, y), rawAt(raw, x+1, y)
+				up, down = rawAt(raw, x, y-1), rawAt(raw, x, y+1)
+				gh = absf(left-right) + absf(2*rawAt(raw, x, y)-rawAt(raw, x-2, y)-rawAt(raw, x+2, y))
+				gv = absf(up-down) + absf(2*rawAt(raw, x, y)-rawAt(raw, x, y-2)-rawAt(raw, x, y+2))
+			}
 			switch {
 			case gh < gv:
-				green[i] = (rawAt(raw, x-1, y) + rawAt(raw, x+1, y)) / 2
+				green[i] = (left + right) / 2
 			case gv < gh:
-				green[i] = (rawAt(raw, x, y-1) + rawAt(raw, x, y+1)) / 2
+				green[i] = (up + down) / 2
 			default:
-				green[i] = (rawAt(raw, x-1, y) + rawAt(raw, x+1, y) + rawAt(raw, x, y-1) + rawAt(raw, x, y+1)) / 4
+				green[i] = (left + right + up + down) / 4
 			}
 		}
 	}
@@ -130,24 +169,42 @@ func demosaicEdgeAware(raw *sensor.RawImage) *imaging.Image {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			i := y*w + x
-			own := raw.ColorAt(x, y)
+			own := ctab[y&1][x&1]
+			interior := x >= 1 && x < w-1 && y >= 1 && y < h-1
 			for _, c := range [2]int{0, 2} {
 				if own == c {
-					im.Pix[c*n+i] = raw.Plane[i]
+					im.Pix[c*n+i] = plane[i]
 					continue
 				}
 				var diff, cnt float32
-				for dy := -1; dy <= 1; dy++ {
-					for dx := -1; dx <= 1; dx++ {
-						if dx == 0 && dy == 0 {
-							continue
+				if interior {
+					for dy := -1; dy <= 1; dy++ {
+						row := ctab[(y+dy)&1]
+						base := i + dy*w
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							if row[(x+dx)&1] != c {
+								continue
+							}
+							diff += plane[base+dx] - green[base+dx]
+							cnt++
 						}
-						xx, yy := clampRef(x+dx, w), clampRef(y+dy, h)
-						if raw.ColorAt(xx, yy) != c {
-							continue
+					}
+				} else {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							xx, yy := clampRef(x+dx, w), clampRef(y+dy, h)
+							if raw.ColorAt(xx, yy) != c {
+								continue
+							}
+							diff += rawAt(raw, x+dx, y+dy) - green[yy*w+xx]
+							cnt++
 						}
-						diff += rawAt(raw, x+dx, y+dy) - green[yy*w+xx]
-						cnt++
 					}
 				}
 				if cnt > 0 {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/imaging"
 	"repro/internal/nn"
 	"repro/internal/stability"
@@ -24,12 +25,19 @@ type Rig struct {
 	// Seed drives every stochastic capture; the same seed reproduces the
 	// whole experiment bit-for-bit.
 	Seed int64
+	// Workers sets the capture concurrency (0 = GOMAXPROCS). Every capture
+	// seeds its own RNG, so results are identical for any worker count;
+	// the rig delegates the sweep to the fleet worker pool.
+	Workers int
 }
 
 // NewRig returns the default rig with the five lab phones.
 func NewRig(seed int64) *Rig {
 	return &Rig{Screen: dataset.DefaultScreen(), Phones: device.LabPhones(), Seed: seed}
 }
+
+// pool returns the fleet worker pool the rig's capture sweeps run on.
+func (r *Rig) pool() *fleet.Pool { return fleet.NewPool(r.Workers) }
 
 // Capture is one photo taken during an experiment.
 type Capture struct {
@@ -41,20 +49,24 @@ type Capture struct {
 }
 
 // CaptureAll photographs every item at every angle with every phone: the
-// end-to-end data collection. Captures are deterministic in the rig seed.
+// end-to-end data collection. The (item, angle) cells run concurrently on
+// the fleet pool; every capture seeds its own RNG and writes its own output
+// slot, so the result is bit-identical to the sequential sweep in the same
+// item-major order.
 func (r *Rig) CaptureAll(items []*dataset.Item, angles []int) []*Capture {
-	var out []*Capture
-	for _, it := range items {
-		for _, a := range angles {
-			scene := it.Render(a)
-			for pi, phone := range r.Phones {
-				rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, pi, 0)))
-				displayed := r.Screen.Display(scene, rng)
-				photo := phone.Capture(displayed, rng)
-				out = append(out, &Capture{Item: it, Angle: a, Phone: phone.Name, Image: photo.Image, Bytes: photo.Encoded.Size})
-			}
+	cells := len(items) * len(angles)
+	out := make([]*Capture, cells*len(r.Phones))
+	r.pool().Run(cells, func(cell int) {
+		it := items[cell/len(angles)]
+		a := angles[cell%len(angles)]
+		scene := it.Render(a)
+		for pi, phone := range r.Phones {
+			rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, pi, 0)))
+			displayed := r.Screen.Display(scene, rng)
+			photo := phone.Capture(displayed, rng)
+			out[cell*len(r.Phones)+pi] = &Capture{Item: it, Angle: a, Phone: phone.Name, Image: photo.Image, Bytes: photo.Encoded.Size}
 		}
-	}
+	})
 	return out
 }
 
@@ -62,16 +74,16 @@ func (r *Rig) CaptureAll(items []*dataset.Item, angles []int) []*Capture {
 // compression, returning the ISP output images the codec experiments start
 // from (the paper's "raw photos from the end-to-end experiment").
 func (r *Rig) CaptureProcessed(phone *device.Profile, phoneIdx int, items []*dataset.Item, angles []int) []*Capture {
-	var out []*Capture
-	for _, it := range items {
-		for _, a := range angles {
-			scene := it.Render(a)
-			rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, phoneIdx, 0)))
-			displayed := r.Screen.Display(scene, rng)
-			img := phone.CaptureProcessed(displayed, rng)
-			out = append(out, &Capture{Item: it, Angle: a, Phone: phone.Name, Image: img})
-		}
-	}
+	out := make([]*Capture, len(items)*len(angles))
+	r.pool().Run(len(out), func(cell int) {
+		it := items[cell/len(angles)]
+		a := angles[cell%len(angles)]
+		scene := it.Render(a)
+		rng := rand.New(rand.NewSource(r.captureSeed(it.ID, a, phoneIdx, 0)))
+		displayed := r.Screen.Display(scene, rng)
+		img := phone.CaptureProcessed(displayed, rng)
+		out[cell] = &Capture{Item: it, Angle: a, Phone: phone.Name, Image: img}
+	})
 	return out
 }
 
@@ -82,12 +94,12 @@ func (r *Rig) CaptureProcessed(phone *device.Profile, phoneIdx int, items []*dat
 func (r *Rig) CaptureRepeats(phone *device.Profile, phoneIdx int, item *dataset.Item, angle, n int) []*Capture {
 	scene := item.Render(angle)
 	out := make([]*Capture, n)
-	for rep := 0; rep < n; rep++ {
+	r.pool().Run(n, func(rep int) {
 		rng := rand.New(rand.NewSource(r.captureSeed(item.ID, angle, phoneIdx, rep+1)))
 		displayed := r.Screen.Display(scene, rng)
 		photo := phone.Capture(displayed, rng)
 		out[rep] = &Capture{Item: item, Angle: angle, Phone: phone.Name, Image: photo.Image, Bytes: photo.Encoded.Size}
-	}
+	})
 	return out
 }
 

@@ -251,3 +251,48 @@ func TestClassifyConsistentWithStability(t *testing.T) {
 		t.Fatalf("groups = %d, want 8", s.Groups)
 	}
 }
+
+// TestRigCaptureAllWorkerInvariant checks that delegating the sweep to the
+// fleet pool never changes results: captures are bit-identical and in the
+// same order for 1, 3 and 8 workers.
+func TestRigCaptureAllWorkerInvariant(t *testing.T) {
+	items := dataset.Generate(3, 5).Items
+	angles := []int{0, 2}
+	var ref []*Capture
+	for _, workers := range []int{1, 3, 8} {
+		rig := NewRig(21)
+		rig.Workers = workers
+		caps := rig.CaptureAll(items, angles)
+		if ref == nil {
+			ref = caps
+			continue
+		}
+		if len(caps) != len(ref) {
+			t.Fatalf("workers=%d: %d captures, want %d", workers, len(caps), len(ref))
+		}
+		for i := range caps {
+			if caps[i].Phone != ref[i].Phone || caps[i].Angle != ref[i].Angle || caps[i].Item.ID != ref[i].Item.ID {
+				t.Fatalf("workers=%d: capture %d reordered", workers, i)
+			}
+			if !bytes.Equal(caps[i].Image.ToBytes(), ref[i].Image.ToBytes()) {
+				t.Fatalf("workers=%d: capture %d pixels diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestRigCaptureRepeatsWorkerInvariant covers the repeat-shot sweep.
+func TestRigCaptureRepeatsWorkerInvariant(t *testing.T) {
+	item := dataset.Generate(1, 9).Items[0]
+	seq := NewRig(13)
+	seq.Workers = 1
+	par := NewRig(13)
+	par.Workers = 6
+	a := seq.CaptureRepeats(seq.Phones[0], 0, item, 1, 5)
+	b := par.CaptureRepeats(par.Phones[0], 0, item, 1, 5)
+	for i := range a {
+		if !bytes.Equal(a[i].Image.ToBytes(), b[i].Image.ToBytes()) {
+			t.Fatalf("repeat %d diverged between worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import "math"
+
+// Online accumulates mean, variance, min and max of a value stream in one
+// pass (Welford's algorithm), for consumers that cannot retain the stream —
+// the fleet aggregator updates one per tracked quantity as records arrive.
+// The zero value is ready to use.
+type Online struct {
+	N       int     `json:"n"`
+	MeanVal float64 `json:"mean"`
+	m2      float64
+	MinVal  float64 `json:"min"`
+	MaxVal  float64 `json:"max"`
+}
+
+// Observe folds one value into the stream summary.
+func (o *Online) Observe(v float64) {
+	if o.N == 0 {
+		o.MinVal, o.MaxVal = v, v
+	} else {
+		if v < o.MinVal {
+			o.MinVal = v
+		}
+		if v > o.MaxVal {
+			o.MaxVal = v
+		}
+	}
+	o.N++
+	delta := v - o.MeanVal
+	o.MeanVal += delta / float64(o.N)
+	o.m2 += delta * (v - o.MeanVal)
+}
+
+// Merge folds another summary into this one (parallel shards combine with
+// Chan et al.'s pairwise update). The result is identical to observing both
+// streams into one accumulator, up to floating-point association.
+func (o *Online) Merge(other Online) {
+	if other.N == 0 {
+		return
+	}
+	if o.N == 0 {
+		*o = other
+		return
+	}
+	if other.MinVal < o.MinVal {
+		o.MinVal = other.MinVal
+	}
+	if other.MaxVal > o.MaxVal {
+		o.MaxVal = other.MaxVal
+	}
+	n := float64(o.N + other.N)
+	delta := other.MeanVal - o.MeanVal
+	o.m2 += other.m2 + delta*delta*float64(o.N)*float64(other.N)/n
+	o.MeanVal += delta * float64(other.N) / n
+	o.N += other.N
+}
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.MeanVal }
+
+// Variance returns the running population variance (0 with <2 samples).
+func (o *Online) Variance() float64 {
+	if o.N < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.N)
+}
+
+// Stddev returns the running population standard deviation.
+func (o *Online) Stddev() float64 { return math.Sqrt(o.Variance()) }

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		values := make([]float64, n)
+		var o Online
+		for i := range values {
+			values[i] = rng.NormFloat64()*10 + 5
+			o.Observe(values[i])
+		}
+		if got, want := o.Mean(), Mean(values); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: mean %v, batch %v", trial, got, want)
+		}
+		// metrics.Stddev is the population std dev, like Online.
+		if got, want := o.Stddev(), Stddev(values); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: stddev %v, batch %v", trial, got, want)
+		}
+		min, max := values[0], values[0]
+		for _, v := range values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if o.MinVal != min || o.MaxVal != max {
+			t.Fatalf("trial %d: min/max %v/%v, batch %v/%v", trial, o.MinVal, o.MaxVal, min, max)
+		}
+	}
+}
+
+func TestOnlineMergeEqualsCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var whole, left, right Online
+	for i := 0; i < 400; i++ {
+		v := rng.ExpFloat64()
+		whole.Observe(v)
+		if i%2 == 0 {
+			left.Observe(v)
+		} else {
+			right.Observe(v)
+		}
+	}
+	left.Merge(right)
+	if left.N != whole.N {
+		t.Fatalf("merged n %d, want %d", left.N, whole.N)
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v, want %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Stddev()-whole.Stddev()) > 1e-9 {
+		t.Fatalf("merged stddev %v, want %v", left.Stddev(), whole.Stddev())
+	}
+	if left.MinVal != whole.MinVal || left.MaxVal != whole.MaxVal {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", left.MinVal, left.MaxVal, whole.MinVal, whole.MaxVal)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Observe(2)
+	a.Merge(b) // merging empty is a no-op
+	if a.N != 1 || a.Mean() != 2 {
+		t.Fatalf("merge empty changed state: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N != 1 || b.Mean() != 2 || b.MinVal != 2 || b.MaxVal != 2 {
+		t.Fatalf("merge into empty: %+v", b)
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.Stddev() != 0 {
+		t.Fatalf("zero value not zero: %+v", o)
+	}
+	o.Observe(1)
+	if o.Variance() != 0 {
+		t.Fatalf("variance with one sample: %v", o.Variance())
+	}
+}

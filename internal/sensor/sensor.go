@@ -100,17 +100,14 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 	p := s.Params
 	img := scene
 
-	// Optics: lens blur then lateral chromatic aberration then vignette.
+	// Optics: lens blur as a full-image pass; the lateral chromatic
+	// aberration and vignette are folded into the mosaic sampling below
+	// (each Bayer sample needs exactly one channel, so resampling and
+	// scaling whole planes first would be wasted work). The fused
+	// arithmetic matches the former chromaticShift/applyVignette passes
+	// operation for operation, so captures are bit-identical.
 	if p.BlurSigma > 0 {
 		img = imaging.GaussianBlur(img, p.BlurSigma)
-	} else {
-		img = img.Clone()
-	}
-	if p.ChromaticShift != 0 {
-		img = chromaticShift(img, float32(p.ChromaticShift))
-	}
-	if p.Vignette > 0 {
-		applyVignette(img, p.Vignette)
 	}
 
 	// Sample the mosaic with spectral gains, exposure, and noise.
@@ -118,10 +115,37 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 	gains := [3]float64{p.GainR * p.Exposure, p.GainG * p.Exposure, p.GainB * p.Exposure}
 	n := img.W * img.H
 	levels := float64(int(1)<<p.BitDepth - 1)
+	// The Bayer color only depends on pixel parity; a 2×2 table replaces a
+	// per-pixel pattern switch in this innermost loop.
+	var ctab [2][2]int
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			ctab[y][x] = bayerColor(s.Pattern, x, y)
+		}
+	}
+	shift := float32(p.ChromaticShift)
+	cx := float64(img.W-1) / 2
+	cy := float64(img.H-1) / 2
+	maxR2 := cx*cx + cy*cy
 	for y := 0; y < img.H; y++ {
+		crow := ctab[y&1]
+		dy := float64(y) - cy
 		for x := 0; x < img.W; x++ {
-			c := bayerColor(s.Pattern, x, y)
-			v := float64(img.Pix[c*n+y*img.W+x]) * gains[c]
+			c := crow[x&1]
+			var sample float32
+			switch {
+			case shift != 0 && c == 0:
+				sample = caSample(img.Pix[y*img.W:(y+1)*img.W], x, img.W, shift)
+			case shift != 0 && c == 2:
+				sample = caSample(img.Pix[2*n+y*img.W:2*n+(y+1)*img.W], x, img.W, -shift)
+			default:
+				sample = img.Pix[c*n+y*img.W+x]
+			}
+			if p.Vignette > 0 {
+				dx := float64(x) - cx
+				sample *= float32(1 - p.Vignette*(dx*dx+dy*dy)/maxR2)
+			}
+			v := float64(sample) * gains[c]
 			if v < 0 {
 				v = 0
 			}
@@ -142,55 +166,23 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 	return raw
 }
 
-// chromaticShift displaces the red plane right and the blue plane left by
-// shift pixels (bilinear sub-pixel shift), modelling lateral CA.
-func chromaticShift(im *imaging.Image, shift float32) *imaging.Image {
-	out := im.Clone()
-	n := im.W * im.H
-	shiftPlane := func(plane []float32, s float32) {
-		row := make([]float32, im.W)
-		for y := 0; y < im.H; y++ {
-			src := plane[y*im.W : (y+1)*im.W]
-			copy(row, src)
-			for x := 0; x < im.W; x++ {
-				fx := float32(x) - s
-				x0 := int(math.Floor(float64(fx)))
-				w := fx - float32(x0)
-				x1 := x0 + 1
-				if x0 < 0 {
-					x0 = 0
-				} else if x0 >= im.W {
-					x0 = im.W - 1
-				}
-				if x1 < 0 {
-					x1 = 0
-				} else if x1 >= im.W {
-					x1 = im.W - 1
-				}
-				src[x] = row[x0]*(1-w) + row[x1]*w
-			}
-		}
+// caSample reads one plane sample displaced horizontally by s pixels with
+// bilinear interpolation and edge clamping — the per-sample form of the
+// lateral chromatic aberration shift (red right, blue left).
+func caSample(row []float32, x, w int, s float32) float32 {
+	fx := float32(x) - s
+	x0 := int(math.Floor(float64(fx)))
+	frac := fx - float32(x0)
+	x1 := x0 + 1
+	if x0 < 0 {
+		x0 = 0
+	} else if x0 >= w {
+		x0 = w - 1
 	}
-	shiftPlane(out.Pix[:n], shift)
-	shiftPlane(out.Pix[2*n:3*n], -shift)
-	return out
-}
-
-// applyVignette darkens pixels by distance from the optical center.
-func applyVignette(im *imaging.Image, strength float64) {
-	cx := float64(im.W-1) / 2
-	cy := float64(im.H-1) / 2
-	maxR2 := cx*cx + cy*cy
-	n := im.W * im.H
-	for y := 0; y < im.H; y++ {
-		dy := float64(y) - cy
-		for x := 0; x < im.W; x++ {
-			dx := float64(x) - cx
-			f := float32(1 - strength*(dx*dx+dy*dy)/maxR2)
-			i := y*im.W + x
-			im.Pix[i] *= f
-			im.Pix[n+i] *= f
-			im.Pix[2*n+i] *= f
-		}
+	if x1 < 0 {
+		x1 = 0
+	} else if x1 >= w {
+		x1 = w - 1
 	}
+	return row[x0]*(1-frac) + row[x1]*frac
 }

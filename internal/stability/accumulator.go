@@ -1,0 +1,160 @@
+package stability
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Accumulator measures instability incrementally. Where Compute re-groups
+// the full record slice on every call, an Accumulator folds each Record into
+// per-group and per-environment counters as it arrives, so a live fleet run
+// can publish up-to-date summaries without retaining or re-scanning its
+// record stream. Snapshot at any point equals the batch functions applied to
+// the records added so far.
+//
+// The accumulator is safe for concurrent Add and Snapshot, and its state is
+// order-independent: any interleaving of the same multiset of records yields
+// the same Snapshot, which is what makes sharded fleet runs reproducible
+// regardless of worker count.
+type Accumulator struct {
+	mu     sync.Mutex
+	groups map[GroupKey]*groupCounts
+	envs   map[string]*envCounts
+}
+
+// groupCounts is the running correctness tally for one (item, angle) group.
+type groupCounts struct {
+	class                int
+	correct, incorrect   int // top-1
+	correctK, incorrectK int // top-k
+}
+
+// envCounts is the running accuracy tally for one environment.
+type envCounts struct {
+	total, correct, correctK int
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{groups: map[GroupKey]*groupCounts{}, envs: map[string]*envCounts{}}
+}
+
+// Add folds one record into the running summaries.
+func (a *Accumulator) Add(r *Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := GroupKey{r.ItemID, r.Angle}
+	g, ok := a.groups[k]
+	if !ok {
+		g = &groupCounts{class: r.TrueClass}
+		a.groups[k] = g
+	}
+	if r.TrueClass != g.class {
+		panic(fmt.Sprintf("stability: item %d has conflicting labels %d and %d", r.ItemID, g.class, r.TrueClass))
+	}
+	if r.Correct() {
+		g.correct++
+	} else {
+		g.incorrect++
+	}
+	if r.CorrectTopK() {
+		g.correctK++
+	} else {
+		g.incorrectK++
+	}
+	e, ok := a.envs[r.Env]
+	if !ok {
+		e = &envCounts{}
+		a.envs[r.Env] = e
+	}
+	e.total++
+	if r.Correct() {
+		e.correct++
+	}
+	if r.CorrectTopK() {
+		e.correctK++
+	}
+}
+
+// AddAll folds a batch of records.
+func (a *Accumulator) AddAll(rs []*Record) {
+	for _, r := range rs {
+		a.Add(r)
+	}
+}
+
+// EnvAccuracy is the accuracy pair for one environment.
+type EnvAccuracy struct {
+	Env          string  `json:"env"`
+	Records      int     `json:"records"`
+	Accuracy     float64 `json:"accuracy"`
+	TopKAccuracy float64 `json:"topk_accuracy"`
+}
+
+// AccumulatorSnapshot is a point-in-time summary of everything added so far.
+// All slices are in deterministic (sorted) order so that two runs over the
+// same records marshal to identical JSON.
+type AccumulatorSnapshot struct {
+	Records      int             `json:"records"`
+	Top1         Summary         `json:"top1"`
+	TopK         Summary         `json:"topk"`
+	Accuracy     float64         `json:"accuracy"`
+	TopKAccuracy float64         `json:"topk_accuracy"`
+	ByEnv        []EnvAccuracy   `json:"by_env,omitempty"`
+	ByClass      map[int]Summary `json:"by_class,omitempty"`
+}
+
+// Snapshot summarizes the records added so far. It matches the batch
+// functions exactly: Top1 == Compute(records), TopK == ComputeTopK(records),
+// Accuracy == Accuracy(records, ""), ByClass == ByClass(records).
+func (a *Accumulator) Snapshot() AccumulatorSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := AccumulatorSnapshot{ByClass: map[int]Summary{}}
+	s.Top1.Groups = len(a.groups)
+	s.TopK.Groups = len(a.groups)
+	for _, g := range a.groups {
+		if g.correct > 0 && g.incorrect > 0 {
+			s.Top1.Unstable++
+		}
+		if g.correctK > 0 && g.incorrectK > 0 {
+			s.TopK.Unstable++
+		}
+		c := s.ByClass[g.class]
+		c.Groups++
+		if g.correct > 0 && g.incorrect > 0 {
+			c.Unstable++
+		}
+		s.ByClass[g.class] = c
+	}
+	total, correct, correctK := 0, 0, 0
+	envNames := make([]string, 0, len(a.envs))
+	for e := range a.envs {
+		envNames = append(envNames, e)
+	}
+	sort.Strings(envNames)
+	for _, name := range envNames {
+		e := a.envs[name]
+		total += e.total
+		correct += e.correct
+		correctK += e.correctK
+		s.ByEnv = append(s.ByEnv, EnvAccuracy{
+			Env:          name,
+			Records:      e.total,
+			Accuracy:     ratio(e.correct, e.total),
+			TopKAccuracy: ratio(e.correctK, e.total),
+		})
+	}
+	s.Records = total
+	s.Accuracy = ratio(correct, total)
+	s.TopKAccuracy = ratio(correctK, total)
+	return s
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

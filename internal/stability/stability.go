@@ -111,8 +111,8 @@ func GroupRecords(records []*Record) []*Group {
 
 // Summary is an instability measurement over a set of groups.
 type Summary struct {
-	Groups   int
-	Unstable int
+	Groups   int `json:"groups"`
+	Unstable int `json:"unstable"`
 }
 
 // Rate returns the instability fraction (0 when there are no groups).
