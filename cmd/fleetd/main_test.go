@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/nn"
+)
+
+// testServer builds a server around a tiny untrained model; endpoint tests
+// care about the HTTP contract, not accuracy.
+func testServer(history int) *server {
+	arch := func() *nn.Model {
+		cfg := nn.DefaultConfig(int(dataset.NumClasses))
+		cfg.Width = 0.4
+		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(5)), cfg)
+	}
+	m := arch()
+	return &server{factory: fleet.BackendReplicator(arch, m), params: m.NumParams(), history: history}
+}
+
+// startRun POSTs one run and waits for it to finish (and its final stats to
+// be recorded).
+func startRun(t *testing.T, ts *httptest.Server, s *server, query string) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run?"+query, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run?%s: status %d", query, resp.StatusCode)
+	}
+	var body struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	entry := s.latest
+	s.mu.Unlock()
+	deadline := time.Now().Add(30 * time.Second)
+	for !entry.finished() {
+		if time.Now().After(deadline) {
+			t.Fatal("run never recorded final stats")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return body.ID
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestFleetdRunHistory(t *testing.T) {
+	s := testServer(2)
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	if code := getJSON(t, ts.URL+"/stats", nil); code != http.StatusNotFound {
+		t.Fatalf("/stats before any run: %d", code)
+	}
+
+	const query = "devices=4&items=1&angles=0&workers=2&seed=3"
+	id0 := startRun(t, ts, s, query)
+	id1 := startRun(t, ts, s, query+"&runtime=int8")
+	id2 := startRun(t, ts, s, query+"&runtime=pruned")
+	if id0 != 0 || id1 != 1 || id2 != 2 {
+		t.Fatalf("run ids %d/%d/%d", id0, id1, id2)
+	}
+
+	// History of 2 keeps only the last two runs, oldest first.
+	var runs struct {
+		Runs []runSummary `json:"runs"`
+	}
+	if code := getJSON(t, ts.URL+"/runs", &runs); code != http.StatusOK {
+		t.Fatalf("/runs: %d", code)
+	}
+	if len(runs.Runs) != 2 || runs.Runs[0].ID != 1 || runs.Runs[1].ID != 2 {
+		t.Fatalf("history %+v", runs.Runs)
+	}
+	for _, r := range runs.Runs {
+		if !r.Done || r.Records != 4 || r.DevicesDone != 4 {
+			t.Fatalf("summary %+v", r)
+		}
+	}
+	if runs.Runs[0].Config.Runtime != "int8" || runs.Runs[1].Config.Runtime != "pruned" {
+		t.Fatalf("history configs %+v", runs.Runs)
+	}
+
+	// A remembered run serves its full stats; the evicted one 404s.
+	var st fleet.Stats
+	if code := getJSON(t, ts.URL+"/runs/1", &st); code != http.StatusOK {
+		t.Fatalf("/runs/1: %d", code)
+	}
+	if len(st.ByRuntime) != 1 || st.ByRuntime[0].Runtime != "int8" {
+		t.Fatalf("run 1 stats %+v", st.ByRuntime)
+	}
+	if code := getJSON(t, ts.URL+"/runs/0", nil); code != http.StatusNotFound {
+		t.Fatalf("/runs/0 (evicted): want 404")
+	}
+	if code := getJSON(t, ts.URL+"/runs/xyz", nil); code != http.StatusBadRequest {
+		t.Fatal("/runs/xyz: want 400")
+	}
+
+	// /stats serves the latest run's recorded bytes.
+	var latest fleet.Stats
+	if code := getJSON(t, ts.URL+"/stats", &latest); code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	if latest.Config.Runtime != "pruned" {
+		t.Fatalf("latest stats config %+v", latest.Config)
+	}
+}
+
+func TestFleetdRejectsBadRuntime(t *testing.T) {
+	s := testServer(4)
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/run?devices=2&items=1&runtime=tpu", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad runtime accepted: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,118 @@
+// Backendsweep: the runtime stack as a divergence axis, measured. The
+// paper's §7 observation is that the same weights, compiled differently
+// (quantized, pruned, a different runtime), label near-identical inputs
+// differently — instability that no amount of sensor or ISP control can
+// remove. This example reproduces that result at fleet scale and attributes
+// the instability:
+//
+//  1. A mixed fleet (each synthesized device ships its own runtime, the way
+//     real populations mix flagship float models with quantized builds)
+//     reports per-runtime flip rates and accuracy.
+//  2. The same fleet is then swept under each forced runtime — identical
+//     devices, identical scenes, identical noise draws; only the inference
+//     stack changes — and the per-run accumulator states are merged through
+//     the stability wire format. Every (device, scene) cell is then
+//     observed under every stack, so a correctness flip with each stack
+//     internally consistent is attributable to the runtime alone.
+//
+// Everything is deterministic for any -workers value.
+//
+// Run with:
+//
+//	go run ./examples/backendsweep [-devices 250] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/fleet"
+	"repro/internal/lab"
+	"repro/internal/nn"
+	"repro/internal/stability"
+)
+
+func main() {
+	devices := flag.Int("devices", 250, "synthesized fleet size")
+	items := flag.Int("items", 8, "objects photographed per device")
+	seed := flag.Int64("seed", 42, "fleet seed")
+	workers := flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS; never affects results)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	log.Println("training base model...")
+	cfg := lab.BaseModelConfig{Seed: 7, TrainItems: 150, Epochs: 4, Width: 1}
+	model, err := lab.LoadOrTrainBaseModel(cfg, "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory := fleet.BackendReplicator(cfg.Arch, model)
+	base := fleet.Config{Devices: *devices, Items: *items, Angles: []int{0, 2, 4}, Seed: *seed, TopK: 3, Workers: *workers}
+
+	// Phase 1: the mixed fleet, as deployed.
+	log.Printf("simulating %d-device mixed-runtime fleet...", *devices)
+	mixed := fleet.NewRunner(base, factory).Run()
+
+	fmt.Printf("\n=== Mixed fleet: %d devices, runtimes as synthesized ===\n", *devices)
+	fmt.Printf("overall: %d/%d groups unstable (%.2f%%)   accuracy %.1f%%\n",
+		mixed.Top1.Unstable, mixed.Top1.Groups, mixed.Top1.Percent, mixed.Accuracy*100)
+	fmt.Println("\nPer-runtime flip rates (instability with the stack held fixed):")
+	for _, rs := range mixed.ByRuntime {
+		fmt.Println(lab.Bar(fmt.Sprintf("%-8s %4d devices, acc %.1f%%", rs.Runtime, rs.Devices, rs.Accuracy*100), rs.Top1.Percent, 100, 28))
+	}
+
+	// Phase 2: forced sweeps — same fleet, same scenes, one stack at a time.
+	states := map[string][]byte{}
+	forced := map[string]fleet.Stats{}
+	for _, rt := range nn.Runtimes() {
+		cfgRT := base
+		cfgRT.Runtime = rt
+		log.Printf("sweeping fleet under forced %s runtime...", rt)
+		r := fleet.NewRunner(cfgRT, factory)
+		forced[rt] = r.Run()
+		if states[rt], err = r.AccumulatorState(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\n=== Forced sweeps: identical devices and noise, one runtime at a time ===\n")
+	for _, rt := range nn.Runtimes() {
+		s := forced[rt]
+		fmt.Printf("%-8s accuracy %.1f%%   within-stack instability %.2f%% (%d/%d)\n",
+			rt, s.Accuracy*100, s.Top1.Percent, s.Top1.Unstable, s.Top1.Groups)
+	}
+
+	// Pairwise attribution: merge the float32 sweep with one other runtime;
+	// cross-runtime cells are (device, scene) pairs where correctness flips
+	// between the two stacks while each stack is self-consistent.
+	fmt.Printf("\n=== Instability attributed to the runtime stack ===\n")
+	fmt.Printf("(per device-scene cell: same optics, same noise, same codec — only the compilation differs)\n")
+	for _, rt := range []string{nn.RuntimeInt8, nn.RuntimePruned} {
+		merged := stability.NewAccumulator()
+		for _, key := range []string{nn.RuntimeFloat32, rt} {
+			if err := merged.UnmarshalState(states[key]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cr := merged.Snapshot().CrossRuntime
+		fmt.Println(lab.Bar(fmt.Sprintf("%s vs float32: %d/%d cells flip", rt, cr.Unstable, cr.Groups), cr.Percent(), 100, 28))
+	}
+
+	// All three stacks merged: the full runtime axis.
+	all := stability.NewAccumulator()
+	for _, rt := range nn.Runtimes() {
+		if err := all.UnmarshalState(states[rt]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap := all.Snapshot()
+	fmt.Printf("\nall runtimes merged: %d/%d cells flip across stacks (%.2f%%)\n",
+		snap.CrossRuntime.Unstable, snap.CrossRuntime.Groups, snap.CrossRuntime.Percent())
+
+	f32 := forced[nn.RuntimeFloat32]
+	fmt.Printf("\nReading: the float32 sweep's %.2f%% instability is optics + noise +\n", f32.Top1.Percent)
+	fmt.Println("ISP + codec divergence — the paper's original axes. The cell flips")
+	fmt.Println("above exist with all of that held fixed: they are the runtime stack's")
+	fmt.Println("own contribution, invisible to any per-device debugging.")
+}

@@ -14,12 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/lab"
-	"repro/internal/nn"
 	"repro/internal/stability"
 )
 
@@ -36,11 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	arch := func() *nn.Model {
-		mcfg := nn.DefaultConfig(int(dataset.NumClasses))
-		mcfg.Width = cfg.Width
-		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(cfg.Seed)), mcfg)
-	}
+	arch := cfg.Arch
 
 	// Baseline: the paper's five-phone rig on the same number of objects.
 	rig := lab.NewRig(*seed)
@@ -58,7 +52,7 @@ func main() {
 		Angles:  angles,
 		Seed:    *seed,
 		TopK:    3,
-	}, fleet.Replicator(arch, model))
+	}, fleet.BackendReplicator(arch, model))
 	stats := runner.Run()
 
 	fmt.Printf("\n=== Five-phone lab rig ===\n")

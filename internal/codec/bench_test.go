@@ -1,0 +1,53 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+// benchImage builds a deterministic noisy gradient at fleet capture
+// resolution — representative content for the transform paths.
+func benchImage(w, h int) *imaging.Image {
+	rng := rand.New(rand.NewSource(3))
+	im := imaging.New(w, h)
+	n := w * h
+	for c := 0; c < 3; c++ {
+		plane := im.Pix[c*n : (c+1)*n]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				plane[y*w+x] = float32(x+y)/float32(w+h) + float32(rng.Float64()-0.5)*0.1
+			}
+		}
+	}
+	return im.Clamp()
+}
+
+// BenchmarkEncode covers the quant/DCT hot path per format; the pooled
+// block scratch this package uses shows up directly in allocs/op.
+func BenchmarkEncode(b *testing.B) {
+	im := benchImage(112, 112)
+	for _, c := range []Codec{NewJPEG(85), NewWebP(75), NewHEIF(85)} {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = c.Encode(im)
+			}
+		})
+	}
+}
+
+// BenchmarkDecode covers the dequant/IDCT + chroma upsampling path for both
+// decoder variants (the paper's §7 divergence source).
+func BenchmarkDecode(b *testing.B) {
+	enc := NewJPEG(85).Encode(benchImage(112, 112))
+	for name, mode := range map[string]UpsampleMode{"bilinear": UpsampleBilinear, "nearest": UpsampleNearest} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = enc.Decode(DecodeOptions{ChromaUpsample: mode})
+			}
+		})
+	}
+}

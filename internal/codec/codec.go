@@ -67,15 +67,17 @@ func (e *Encoded) Decode(opts DecodeOptions) *imaging.Image {
 		}
 		return im
 	}
-	y := decodePlane(&e.planes[0])
-	cb := decodePlane(&e.planes[1])
-	cr := decodePlane(&e.planes[2])
+	s := scratchPool.Get().(*scratch)
+	y := decodePlane(&e.planes[0], grow(&s.planes[0], e.planes[0].w*e.planes[0].h), s)
+	cb := decodePlane(&e.planes[1], grow(&s.planes[1], e.planes[1].w*e.planes[1].h), s)
+	cr := decodePlane(&e.planes[2], grow(&s.planes[2], e.planes[2].w*e.planes[2].h), s)
 	if e.subsampled {
-		cb = upsample2x(cb, e.planes[1].w, e.planes[1].h, e.W, e.H, opts.ChromaUpsample)
-		cr = upsample2x(cr, e.planes[2].w, e.planes[2].h, e.W, e.H, opts.ChromaUpsample)
+		cb = upsample2x(grow(&s.up[0], e.W*e.H), cb, e.planes[1].w, e.planes[1].h, e.W, e.H, opts.ChromaUpsample)
+		cr = upsample2x(grow(&s.up[1], e.W*e.H), cr, e.planes[2].w, e.planes[2].h, e.W, e.H, opts.ChromaUpsample)
 	}
 	yc := &imaging.YCbCr{W: e.W, H: e.H, Y: y, Cb: cb, Cr: cr}
 	im := yc.ToRGB()
+	scratchPool.Put(s) // ToRGB copied the planes out; the buffers are free
 	// Decoders emit 8-bit pixels; quantize so downstream hashing matches
 	// what a real gallery file would contain.
 	return im.Clamp().Quantize8()
@@ -107,15 +109,17 @@ func (e *Encoded) HashInto(h hash.Hash) {
 // encodePlane transforms and quantizes one channel with the given block size
 // and quant table. Samples outside the image are edge-padded. mid is
 // subtracted before the transform (0.5 for luma-in-[0,1], 0 for chroma).
-func encodePlane(samples []float32, w, h, blockSize int, quant []float32, mid float32) planeData {
+// Block scratch comes from s; only the coefficient buffer (which the
+// returned planeData retains) is allocated.
+func encodePlane(samples []float32, w, h, blockSize int, quant []float32, mid float32, s *scratch) planeData {
 	b := basisFor(blockSize)
 	zz := zigzagOrder(blockSize)
 	bw := (w + blockSize - 1) / blockSize
 	bh := (h + blockSize - 1) / blockSize
 	n2 := blockSize * blockSize
 	coeffs := make([]int32, bw*bh*n2)
-	block := make([]float32, n2)
-	freq := make([]float32, n2)
+	block := grow(&s.block, n2)
+	freq := grow(&s.freq, n2)
 	bi := 0
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
@@ -148,14 +152,14 @@ func encodePlane(samples []float32, w, h, blockSize int, quant []float32, mid fl
 	return planeData{w: w, h: h, blockSize: blockSize, quant: quant, coeffs: coeffs, mid: mid}
 }
 
-// decodePlane dequantizes and inverse-transforms one channel.
-func decodePlane(p *planeData) []float32 {
+// decodePlane dequantizes and inverse-transforms one channel into out
+// (length p.w*p.h, fully overwritten); block scratch comes from s.
+func decodePlane(p *planeData, out []float32, s *scratch) []float32 {
 	b := basisFor(p.blockSize)
 	zz := zigzagOrder(p.blockSize)
 	n2 := p.blockSize * p.blockSize
-	out := make([]float32, p.w*p.h)
-	freq := make([]float32, n2)
-	spatial := make([]float32, n2)
+	freq := grow(&s.freq, n2)
+	spatial := grow(&s.spatial, n2)
 	mid := p.mid
 	bi := 0
 	for by := 0; by*p.blockSize < p.h; by++ {
@@ -187,11 +191,15 @@ func decodePlane(p *planeData) []float32 {
 	return out
 }
 
-// downsample2x box-averages a plane to half resolution (4:2:0 chroma).
-func downsample2x(src []float32, w, h int) (dst []float32, dw, dh int) {
-	dw = (w + 1) / 2
-	dh = (h + 1) / 2
-	dst = make([]float32, dw*dh)
+// downsample2x box-averages a plane to half resolution (4:2:0 chroma) into
+// dst, which is fully overwritten (nil allocates).
+func downsample2x(dst, src []float32, w, h int) ([]float32, int, int) {
+	dw := (w + 1) / 2
+	dh := (h + 1) / 2
+	if dst == nil {
+		dst = make([]float32, dw*dh)
+	}
+	dst = dst[:dw*dh]
 	for y := 0; y < dh; y++ {
 		for x := 0; x < dw; x++ {
 			var s float32
@@ -217,9 +225,13 @@ func downsample2x(src []float32, w, h int) (dst []float32, dw, dh int) {
 }
 
 // upsample2x reconstructs a full-resolution plane from half-resolution
-// chroma, with the decoder-dependent filter choice.
-func upsample2x(src []float32, sw, sh, w, h int, mode UpsampleMode) []float32 {
-	dst := make([]float32, w*h)
+// chroma into dst, which is fully overwritten (nil allocates), with the
+// decoder-dependent filter choice.
+func upsample2x(dst, src []float32, sw, sh, w, h int, mode UpsampleMode) []float32 {
+	if dst == nil {
+		dst = make([]float32, w*h)
+	}
+	dst = dst[:w*h]
 	if mode == UpsampleNearest {
 		for y := 0; y < h; y++ {
 			sy := y / 2

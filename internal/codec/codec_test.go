@@ -299,11 +299,11 @@ func TestDownUpsampleRoundTrip(t *testing.T) {
 			src[y*w+x] = float32(x+y) / float32(w+h)
 		}
 	}
-	down, dw, dh := downsample2x(src, w, h)
+	down, dw, dh := downsample2x(nil, src, w, h)
 	if dw != 8 || dh != 8 {
 		t.Fatalf("downsampled dims %dx%d", dw, dh)
 	}
-	up := upsample2x(down, dw, dh, w, h, UpsampleBilinear)
+	up := upsample2x(nil, down, dw, dh, w, h, UpsampleBilinear)
 	for i := range src {
 		if math.Abs(float64(src[i]-up[i])) > 0.05 {
 			t.Fatalf("round trip error %v at %d", src[i]-up[i], i)
@@ -313,7 +313,7 @@ func TestDownUpsampleRoundTrip(t *testing.T) {
 
 func TestUpsampleNearestReplicates(t *testing.T) {
 	src := []float32{1, 2, 3, 4}
-	up := upsample2x(src, 2, 2, 4, 4, UpsampleNearest)
+	up := upsample2x(nil, src, 2, 2, 4, 4, UpsampleNearest)
 	if up[0] != 1 || up[1] != 1 || up[4] != 1 || up[5] != 1 {
 		t.Fatalf("nearest upsample top-left block %v", up[:6])
 	}

@@ -103,17 +103,20 @@ func (c *HEIFLike) Encode(im *imaging.Image) *Encoded {
 func encodeTransform(im *imaging.Image, format, name string, blockSize int, luma, chroma []float32, subsample bool, headerBytes int) *Encoded {
 	yc := imaging.RGBToYCbCr(im)
 	e := &Encoded{Format: name, W: im.W, H: im.H, subsampled: subsample}
-	yPlane := encodePlane(yc.Y, im.W, im.H, blockSize, luma, 0.5)
+	s := scratchPool.Get().(*scratch)
+	yPlane := encodePlane(yc.Y, im.W, im.H, blockSize, luma, 0.5, s)
 	var cbPlane, crPlane planeData
 	if subsample {
-		cb, cw, ch := downsample2x(yc.Cb, im.W, im.H)
-		cr, _, _ := downsample2x(yc.Cr, im.W, im.H)
-		cbPlane = encodePlane(cb, cw, ch, blockSize, chroma, 0)
-		crPlane = encodePlane(cr, cw, ch, blockSize, chroma, 0)
+		halfLen := ((im.W + 1) / 2) * ((im.H + 1) / 2)
+		cb, cw, ch := downsample2x(grow(&s.planes[0], halfLen), yc.Cb, im.W, im.H)
+		cr, _, _ := downsample2x(grow(&s.planes[1], halfLen), yc.Cr, im.W, im.H)
+		cbPlane = encodePlane(cb, cw, ch, blockSize, chroma, 0, s)
+		crPlane = encodePlane(cr, cw, ch, blockSize, chroma, 0, s)
 	} else {
-		cbPlane = encodePlane(yc.Cb, im.W, im.H, blockSize, chroma, 0)
-		crPlane = encodePlane(yc.Cr, im.W, im.H, blockSize, chroma, 0)
+		cbPlane = encodePlane(yc.Cb, im.W, im.H, blockSize, chroma, 0, s)
+		crPlane = encodePlane(yc.Cr, im.W, im.H, blockSize, chroma, 0, s)
 	}
+	scratchPool.Put(s)
 	e.planes = []planeData{yPlane, cbPlane, crPlane}
 	bits := entropyBits(&yPlane) + entropyBits(&cbPlane) + entropyBits(&crPlane)
 	e.Size = headerBytes + (bits+7)/8

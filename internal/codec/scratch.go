@@ -1,0 +1,28 @@
+package codec
+
+import "sync"
+
+// scratch holds the reusable buffers of one encode or decode pass: the
+// per-block transform scratch plus the intermediate plane buffers that used
+// to be reallocated on every capture. The fleet drives millions of
+// encode/decode round trips, so the codec keeps a pool of these and each
+// pass borrows one — workers never share a scratch, results are unaffected
+// because every buffer is fully overwritten before it is read.
+type scratch struct {
+	block, freq, spatial []float32
+	// planes are the dequantized Y/Cb/Cr buffers of a decode, or the
+	// downsampled chroma of an encode.
+	planes [3][]float32
+	// up are the upsampled full-resolution chroma buffers of a decode.
+	up [2][]float32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grow returns (*buf)[:n], reallocating only when the capacity is short.
+func grow(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/imaging"
 	"repro/internal/isp"
+	"repro/internal/nn"
 	"repro/internal/sensor"
 )
 
@@ -40,7 +41,18 @@ type Profile struct {
 	// files (1 = none). Like RawNR it survives any consistent downstream
 	// converter and keeps cross-device raw files from being identical.
 	RawGain float32
+	// Runtime names the inference stack this device ships with (one of
+	// nn.Runtimes(): "float32", "int8", "pruned"). The empty string means
+	// the float32 reference. Real fleets pin the model variant per device
+	// class — flagship phones run the float model, budget hardware the
+	// quantized or pruned one — which makes the runtime a divergence axis
+	// exactly like the sensor and ISP.
+	Runtime string
 }
+
+// RuntimeName returns the profile's runtime, defaulting the empty string to
+// the float32 reference.
+func (p *Profile) RuntimeName() string { return nn.RuntimeOrDefault(p.Runtime) }
 
 // Photo is a stored capture: the compressed representation plus the decoded
 // pixels as this device's OS would hand them to a model.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/isp"
+	"repro/internal/nn"
 	"repro/internal/sensor"
 )
 
@@ -57,7 +58,27 @@ func Synthesize(base *Profile, name string, rng *rand.Rand) *Profile {
 			out.Decode.ChromaUpsample = codec.UpsampleBilinear
 		}
 	}
+	// Runtime assignment: the device class decides which compilation of the
+	// model ships. Drawn last so the optical/ISP jitter stream above is
+	// unchanged by the runtime axis; the draw is deterministic in the same
+	// per-device rng, so any worker can rebuild the assignment from
+	// (seed, device id) alone.
+	out.Runtime = pickRuntime(rng)
 	return out
+}
+
+// pickRuntime draws the device's inference stack: roughly half the fleet on
+// the float32 reference, a third on the int8 quantized build, the rest on
+// the pruned build — the TinyMLOps-style mix of per-device model variants.
+func pickRuntime(rng *rand.Rand) string {
+	switch v := rng.Float64(); {
+	case v < 0.50:
+		return nn.RuntimeFloat32
+	case v < 0.83:
+		return nn.RuntimeInt8
+	default:
+		return nn.RuntimePruned
+	}
 }
 
 // jitterPipeline rebuilds an ISP with perturbed stage parameters. Stage

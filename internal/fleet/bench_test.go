@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/imaging"
+	"repro/internal/nn"
 	"repro/internal/stability"
 )
 
@@ -134,5 +135,49 @@ func BenchmarkGeneratorSynthesize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gen := NewGenerator(int64(i), 2, 1)
 		_ = gen.Device(i % 4096)
+	}
+}
+
+// BenchmarkCodecRoundtrip isolates the codec leg of the capture hot path
+// (encode + decode at fleet capture resolution) — the quant/DCT scratch
+// reuse this benchmark guards is a direct lever on captures/sec.
+func BenchmarkCodecRoundtrip(b *testing.B) {
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	d := gen.Device(0)
+	// A decoded capture is a realistic codec input (processed ISP output).
+	img, _ := engine.Capture(d, items[0], 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := d.Profile.Codec.Encode(img)
+		_ = enc.Decode(d.Profile.Decode)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "roundtrips/sec")
+}
+
+// BenchmarkBackendInfer compares the per-capture inference cost of the
+// three runtime variants on one warm backend replica each.
+func BenchmarkBackendInfer(b *testing.B) {
+	factory := testFactory()
+	imgs := make([]*imaging.Image, 8)
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	for i := range imgs {
+		imgs[i], _ = engine.Capture(gen.Device(i), items[i%benchItems], i%benchAngles)
+	}
+	for _, runtime := range nn.Runtimes() {
+		b.Run(runtime, func(b *testing.B) {
+			backend := factory(runtime)
+			x := imaging.BatchTensor(imgs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = backend.Infer(x)
+			}
+			b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "inferences/sec")
+		})
 	}
 }

@@ -39,20 +39,23 @@ func cellRNG(seed int64, vals ...int64) *rand.Rand {
 	return rand.New(rand.NewSource(mix(seed, vals...)))
 }
 
-// ModelFactory builds one private model replica. The nn layers cache
-// forward activations even in eval mode, so concurrent workers cannot share
-// one *nn.Model; the pool calls the factory once per worker and caches the
-// replicas. Factories typically rebuild the architecture and restore a
-// snapshot of the trained weights.
-type ModelFactory func() *nn.Model
+// BackendFactory builds one private inference backend for the named runtime
+// variant (one of nn.Runtimes()). Backends cache forward scratch even in
+// eval mode, so concurrent workers cannot share one; the pool calls the
+// factory per (worker, runtime) and LRU-caches the replicas. Factories
+// typically rebuild the architecture, restore a snapshot of the trained
+// weights, and compile it into the requested runtime.
+type BackendFactory func(runtime string) nn.Backend
 
-// Replicator adapts a trained model into a ModelFactory: it snapshots the
-// weights once and stamps them into a fresh architecture per call.
-func Replicator(arch func() *nn.Model, trained *nn.Model) ModelFactory {
+// BackendReplicator adapts a trained model into a BackendFactory: it
+// snapshots the weights once and, per call, stamps them into a fresh
+// architecture and compiles that replica into the requested runtime
+// (float32 reference, int8 quantized, or magnitude-pruned).
+func BackendReplicator(arch func() *nn.Model, trained *nn.Model) BackendFactory {
 	snap := trained.TakeSnapshot()
-	return func() *nn.Model {
+	return func(runtime string) nn.Backend {
 		m := arch()
 		m.Restore(snap)
-		return m
+		return nn.NewRuntimeBackend(runtime, m)
 	}
 }

@@ -8,16 +8,18 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/stability"
 )
 
-// testFactory builds a tiny untrained (but weight-deterministic) model:
+// testFactory builds tiny untrained (but weight-deterministic) backends:
 // determinism tests care about reproducibility, not accuracy, and skipping
 // training keeps the suite fast under -race.
-func testFactory() ModelFactory {
-	return func() *nn.Model {
+func testFactory() BackendFactory {
+	return func(runtime string) nn.Backend {
 		cfg := nn.DefaultConfig(int(dataset.NumClasses))
 		cfg.Width = 0.4
-		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(5)), cfg)
+		m := nn.NewMobileNetV2Micro(rand.New(rand.NewSource(5)), cfg)
+		return nn.NewRuntimeBackend(runtime, m)
 	}
 }
 
@@ -215,6 +217,106 @@ func TestFleetThousandDevicesDeterministic(t *testing.T) {
 	b := runStats(t, cfg16)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("1000-device stats diverged between 1 and 16 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFleetInt8GoldenDeterminism is the int8 acceptance run: an all-int8
+// 500-device fleet must produce byte-identical stats across worker counts
+// 1, 4 and 16 — integer kernels, per-sample activation scales and the
+// backend LRU must all be invisible to scheduling. Skipped in -short mode
+// (it is sized like the thousand-device float test).
+func TestFleetInt8GoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-device int8 fleet run skipped in -short mode")
+	}
+	base := Config{Devices: 500, Items: 1, Angles: []int{2}, Seed: 77, TopK: 3, Runtime: nn.RuntimeInt8}
+	var first []byte
+	for _, workers := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Workers = workers
+		got := runStats(t, cfg)
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatalf("int8 workers=%d stats diverged:\n%s\nvs\n%s", workers, got, first)
+		}
+	}
+}
+
+// TestFleetMixedRuntimes checks the runtime axis of a mixed fleet: devices
+// spread over several backends, per-runtime stats that add up, and a
+// cross-runtime summary that stays 0/0 because no device is observed under
+// two stacks in one run.
+func TestFleetMixedRuntimes(t *testing.T) {
+	cfg := Config{Devices: 24, Items: 2, Angles: []int{0, 2}, Seed: 5, Workers: 4}
+	s := NewRunner(cfg, testFactory()).Run()
+	if len(s.ByRuntime) < 2 {
+		t.Fatalf("mixed fleet landed on %d runtimes: %+v", len(s.ByRuntime), s.ByRuntime)
+	}
+	devices, records := 0, 0
+	for _, rs := range s.ByRuntime {
+		if !nn.ValidRuntime(rs.Runtime) {
+			t.Fatalf("unknown runtime %q in stats", rs.Runtime)
+		}
+		if rs.Devices == 0 || rs.Records != rs.Devices*cfg.Items*2 {
+			t.Fatalf("runtime %s: devices=%d records=%d", rs.Runtime, rs.Devices, rs.Records)
+		}
+		devices += rs.Devices
+		records += rs.Records
+	}
+	if devices != cfg.Devices || records != s.Records {
+		t.Fatalf("runtime breakdown sums %d devices / %d records, want %d / %d", devices, records, cfg.Devices, s.Records)
+	}
+	if s.CrossRuntime.Groups != 0 {
+		t.Fatalf("mixed single-observation fleet has cross-runtime groups: %+v", s.CrossRuntime)
+	}
+}
+
+// TestFleetForcedRuntime pins Config.Runtime: every device reports the
+// forced backend regardless of its synthesized assignment.
+func TestFleetForcedRuntime(t *testing.T) {
+	cfg := Config{Devices: 10, Items: 1, Angles: []int{1}, Seed: 9, Workers: 2, Runtime: nn.RuntimePruned}
+	s := NewRunner(cfg, testFactory()).Run()
+	if len(s.ByRuntime) != 1 || s.ByRuntime[0].Runtime != nn.RuntimePruned {
+		t.Fatalf("forced pruned fleet reports %+v", s.ByRuntime)
+	}
+	if s.ByRuntime[0].Devices != cfg.Devices {
+		t.Fatalf("forced runtime devices %d, want %d", s.ByRuntime[0].Devices, cfg.Devices)
+	}
+}
+
+// TestRunnerMergedForcedSweeps reproduces the backendsweep attribution in
+// miniature: the same fleet forced through float32 and int8, accumulator
+// states merged — every (scene, device) cell is then observed by both
+// stacks, so the cross-runtime denominator must cover all cells.
+func TestRunnerMergedForcedSweeps(t *testing.T) {
+	base := Config{Devices: 8, Items: 2, Angles: []int{0}, Seed: 31, Workers: 4}
+	merged := stability.NewAccumulator()
+	for _, rt := range []string{nn.RuntimeFloat32, nn.RuntimeInt8} {
+		cfg := base
+		cfg.Runtime = rt
+		r := NewRunner(cfg, testFactory())
+		r.Run()
+		state, err := r.AccumulatorState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.UnmarshalState(state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := merged.Snapshot()
+	wantCells := base.Devices * base.Items // every device sees every (item, angle) under both runtimes
+	if snap.CrossRuntime.Groups != wantCells {
+		t.Fatalf("cross-runtime denominator %d, want %d", snap.CrossRuntime.Groups, wantCells)
+	}
+	if len(snap.ByRuntime) != 2 {
+		t.Fatalf("merged sweeps report %d runtimes", len(snap.ByRuntime))
+	}
+	if snap.Records != 2*base.Devices*base.Items {
+		t.Fatalf("merged records %d", snap.Records)
 	}
 }
 

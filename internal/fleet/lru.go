@@ -8,7 +8,7 @@ import (
 // LRU is a small thread-safe least-recently-used cache. The fleet uses it
 // for synthesized device profiles (rebuild on miss is deterministic, so
 // eviction only costs time), displayed scene frames shared across devices,
-// and per-worker model replicas.
+// and per-worker backend replicas keyed by runtime variant.
 type LRU[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int

@@ -31,6 +31,10 @@ type Config struct {
 	// Scale divides the capture resolution (default 2: half-resolution
 	// captures, matching the model input).
 	Scale int `json:"scale"`
+	// Runtime, when non-empty, forces every device onto one inference
+	// runtime (one of nn.Runtimes()), overriding the per-device assignment
+	// synthesized into the profiles. Empty runs the mixed fleet.
+	Runtime string `json:"runtime,omitempty"`
 	// Workers is the pool concurrency (default GOMAXPROCS). It never
 	// affects results, only wall time; it is excluded from Stats for that
 	// reason.
@@ -40,6 +44,15 @@ type Config struct {
 	// DeviceCache and SceneCache bound the LRU sizes (defaults 4096/512).
 	DeviceCache int `json:"-"`
 	SceneCache  int `json:"-"`
+}
+
+// Captures returns the total capture-cell count of the run this (possibly
+// zero-valued) config describes, after defaulting: devices × items ×
+// angles. Admission control sizes requests with this instead of
+// re-deriving the defaults by hand.
+func (c Config) Captures() int {
+	c = c.withDefaults()
+	return c.Devices * c.Items * len(c.Angles)
 }
 
 func (c Config) withDefaults() Config {
@@ -68,25 +81,31 @@ func (c Config) withDefaults() Config {
 // only by the worker that ran the device and merged in ID order at snapshot
 // time (so float accumulation order never depends on scheduling).
 type deviceSlot struct {
-	done   atomic.Bool
-	cohort string
-	score  metrics.Online
-	bytes  metrics.Online
+	done    atomic.Bool
+	cohort  string
+	runtime string
+	score   metrics.Online
+	bytes   metrics.Online
 }
 
+// backendCacheCap bounds each worker's backend LRU. Three variants exist
+// today; the headroom keeps a future longer variant list from thrashing.
+const backendCacheCap = 8
+
 // Runner executes a fleet run: it owns the generator, capture engine,
-// worker pool, per-worker model replicas and the streaming aggregators.
+// worker pool, per-worker backend replicas and the streaming aggregators.
 type Runner struct {
 	cfg     Config
-	factory ModelFactory
+	factory BackendFactory
 	gen     *Generator
 	engine  *Engine
 	pool    *Pool
-	// models holds one replica per pool worker, built lazily; worker ids
-	// are a dense range and each id is a single goroutine, so a plain
-	// slice needs no locking and nothing ever evicts.
-	models []*nn.Model
-	items  []*dataset.Item
+	// backends holds one LRU of runtime→backend per pool worker; worker
+	// ids are a dense range and each id is a single goroutine, so the
+	// outer slice needs no locking. Compiling a backend (restore +
+	// quantize/prune) is paid once per (worker, variant).
+	backends []*LRU[string, nn.Backend]
+	items    []*dataset.Item
 
 	acc        *stability.Accumulator
 	cohortAccs map[string]*stability.Accumulator
@@ -100,7 +119,7 @@ type Runner struct {
 }
 
 // NewRunner prepares a run; no work happens until Start or Run.
-func NewRunner(cfg Config, factory ModelFactory) *Runner {
+func NewRunner(cfg Config, factory BackendFactory) *Runner {
 	cfg = cfg.withDefaults()
 	gen := NewGenerator(cfg.Seed, cfg.Scale, cfg.DeviceCache)
 	pool := NewPool(cfg.Workers)
@@ -110,7 +129,7 @@ func NewRunner(cfg Config, factory ModelFactory) *Runner {
 		gen:        gen,
 		engine:     NewEngine(cfg.Seed, cfg.Scale, cfg.SceneCache),
 		pool:       pool,
-		models:     make([]*nn.Model, pool.WorkersFor(cfg.Devices)),
+		backends:   make([]*LRU[string, nn.Backend], pool.WorkersFor(cfg.Devices)),
 		items:      dataset.GenerateHard(cfg.Items, mix(cfg.Seed, 3)).Items,
 		acc:        stability.NewAccumulator(),
 		cohortAccs: map[string]*stability.Accumulator{},
@@ -149,17 +168,38 @@ func (r *Runner) Progress() (done, total, captures int) {
 	return int(r.devicesDone.Load()), r.cfg.Devices, int(r.capturesDone.Load())
 }
 
+// AccumulatorState serializes the run's stability accumulator in the wire
+// format of stability.(*Accumulator).MarshalState. A coordinator merges
+// several runners' states (shards of one fleet, or forced-runtime sweeps of
+// the same fleet) into one accumulator with UnmarshalState — the
+// building block for distributed fleetd shards.
+func (r *Runner) AccumulatorState() ([]byte, error) {
+	return r.acc.MarshalState()
+}
+
 // Config returns the (defaulted) run configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// runtimeFor resolves the inference runtime one device runs: the forced
+// Config.Runtime when set, otherwise the variant synthesized into the
+// device's profile.
+func (r *Runner) runtimeFor(d *Device) string {
+	if r.cfg.Runtime != "" {
+		return r.cfg.Runtime
+	}
+	return d.Profile.RuntimeName()
+}
 
 // runDevice simulates one fleet member end-to-end on one worker.
 func (r *Runner) runDevice(worker, id int) {
 	d := r.gen.Device(id)
-	model := r.models[worker]
-	if model == nil {
-		model = r.factory()
-		r.models[worker] = model
+	runtime := r.runtimeFor(d)
+	cache := r.backends[worker]
+	if cache == nil {
+		cache = NewLRU[string, nn.Backend](backendCacheCap)
+		r.backends[worker] = cache
 	}
+	backend := cache.GetOrCompute(runtime, func() nn.Backend { return r.factory(runtime) })
 
 	cells := len(r.items) * len(r.cfg.Angles)
 	images := make([]*imaging.Image, 0, cells)
@@ -173,11 +213,12 @@ func (r *Runner) runDevice(worker, id int) {
 		}
 	}
 
-	preds, scores, probs := train.Evaluate(model, images, r.cfg.BatchSize)
+	preds, scores, probs := train.Evaluate(backend, images, r.cfg.BatchSize)
 	topks := train.TopKOf(probs, r.cfg.TopK)
 
 	slot := r.slots[id]
 	slot.cohort = d.Cohort
+	slot.runtime = runtime
 	records := make([]*stability.Record, len(images))
 	i := 0
 	for _, it := range r.items {
@@ -187,6 +228,7 @@ func (r *Runner) runDevice(worker, id int) {
 				Angle:     a,
 				TrueClass: int(it.Class),
 				Env:       d.Profile.Name,
+				Runtime:   runtime,
 				Pred:      preds[i],
 				Score:     scores[i],
 				TopK:      topks[i],

@@ -53,6 +53,19 @@ type ClassStats struct {
 	Top1  InstabilityStats `json:"top1"`
 }
 
+// RuntimeStats summarizes one inference runtime across the fleet: how many
+// devices ran it, its accuracy, and its within-runtime instability (the
+// divergence that remains with the stack held fixed — optics, noise, ISP
+// and codec effects only).
+type RuntimeStats struct {
+	Runtime      string           `json:"runtime"`
+	Devices      int              `json:"devices"`
+	Records      int              `json:"records"`
+	Accuracy     float64          `json:"accuracy"`
+	TopKAccuracy float64          `json:"topk_accuracy"`
+	Top1         InstabilityStats `json:"top1"`
+}
+
 // Stats is the deterministic summary of a fleet run: for one Config and
 // seed, the final Stats marshal to byte-identical JSON no matter how many
 // workers executed the run. In-flight snapshots expose the same shape with
@@ -68,6 +81,12 @@ type Stats struct {
 	TopK         InstabilityStats `json:"topk"`
 	ByCohort     []CohortStats    `json:"by_cohort"`
 	ByClass      []ClassStats     `json:"by_class"`
+	ByRuntime    []RuntimeStats   `json:"by_runtime"`
+	// CrossRuntime is instability attributable to the runtime stack alone:
+	// over groups observed by ≥2 runtimes, those unstable overall while
+	// every runtime was internally consistent. Nonzero means the same
+	// weights, differently compiled, label the same scenes differently.
+	CrossRuntime InstabilityStats `json:"cross_runtime"`
 	Score        OnlineStats      `json:"score"`
 	CaptureBytes OnlineStats      `json:"capture_bytes"`
 }
@@ -105,10 +124,13 @@ func (r *Runner) Stats() Stats {
 		s.ByClass = append(s.ByClass, ClassStats{Class: c, Top1: instability(snap.ByClass[c])})
 	}
 
+	s.CrossRuntime = instability(snap.CrossRuntime)
+
 	// Per-device aggregates merge in device-ID order so float accumulation
 	// never depends on completion order; only finished slots contribute.
 	var score, bytes metrics.Online
 	cohortDevices := map[string]int{}
+	runtimeDevices := map[string]int{}
 	for _, slot := range r.slots {
 		if !slot.done.Load() {
 			continue
@@ -116,9 +138,21 @@ func (r *Runner) Stats() Stats {
 		score.Merge(slot.score)
 		bytes.Merge(slot.bytes)
 		cohortDevices[slot.cohort]++
+		runtimeDevices[slot.runtime]++
 	}
 	s.Score = onlineStats(score)
 	s.CaptureBytes = onlineStats(bytes)
+
+	for _, ra := range snap.ByRuntime {
+		s.ByRuntime = append(s.ByRuntime, RuntimeStats{
+			Runtime:      ra.Runtime,
+			Devices:      runtimeDevices[ra.Runtime],
+			Records:      ra.Records,
+			Accuracy:     ra.Accuracy,
+			TopKAccuracy: ra.TopKAccuracy,
+			Top1:         instability(ra.Top1),
+		})
+	}
 
 	cohorts := r.gen.Cohorts()
 	sort.Strings(cohorts)

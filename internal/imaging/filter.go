@@ -7,8 +7,9 @@ import (
 
 // blurScratch recycles the intermediate plane buffer of the separable blur;
 // the fleet hot path blurs every capture (lens PSF and unsharp masking) and
-// the temporary otherwise dominates its allocation profile.
-var blurScratch = sync.Pool{New: func() any { return []float32(nil) }}
+// the temporary otherwise dominates its allocation profile. The pool holds
+// pointers so Get/Put do not box the slice header on every call.
+var blurScratch = sync.Pool{New: func() any { return new([]float32) }}
 
 // GaussianBlur applies a separable Gaussian blur with the given sigma (in
 // pixels). Sigma <= 0 returns a copy.
@@ -33,12 +34,12 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	}
 
 	n := im.W * im.H
-	tmpPix := blurScratch.Get().([]float32)
-	if cap(tmpPix) < 3*n {
-		tmpPix = make([]float32, 3*n)
+	tmpBuf := blurScratch.Get().(*[]float32)
+	if cap(*tmpBuf) < 3*n {
+		*tmpBuf = make([]float32, 3*n)
 	}
-	tmpPix = tmpPix[:3*n]
-	defer blurScratch.Put(tmpPix)
+	tmpPix := (*tmpBuf)[:3*n]
+	defer blurScratch.Put(tmpBuf)
 	out := New(im.W, im.H)
 	// horizontal pass
 	for p := 0; p < 3; p++ {

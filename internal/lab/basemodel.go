@@ -26,9 +26,29 @@ func DefaultBaseModel() BaseModelConfig {
 	return BaseModelConfig{Seed: 7, TrainItems: 300, Epochs: 6, Width: 1.0}
 }
 
+// Arch builds the untrained architecture this configuration trains:
+// weight-initialization-identical on every call, which is what snapshot
+// restores and fleet backend replicas require. Every binary that needs an
+// architecture factory for the base model must use this — a hand-rolled
+// copy that drifts from it silently stops matching trained snapshots.
+func (cfg BaseModelConfig) Arch() *nn.Model {
+	width := cfg.Width
+	if width == 0 {
+		width = 1.0
+	}
+	mcfg := nn.DefaultConfig(int(dataset.NumClasses))
+	mcfg.Width = width
+	return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(cfg.Seed)), mcfg)
+}
+
 // TrainBaseModel trains the stand-in for "MobileNetV2 pre-trained on
 // ImageNet": a micro MobileNetV2 trained on clean renders with photometric
 // augmentation. The returned model is deterministic in cfg.Seed.
+//
+// The rng stream is shared between weight init and augmentation on purpose
+// (splitting it would change every documented result); Arch() reproduces
+// only the initialization prefix of that stream, which is all a snapshot
+// restore needs.
 func TrainBaseModel(cfg BaseModelConfig) *nn.Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mcfg := nn.DefaultConfig(int(dataset.NumClasses))

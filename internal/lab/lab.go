@@ -113,15 +113,16 @@ func (r *Rig) captureSeed(item, angle, phone, repeat int) int64 {
 	return h
 }
 
-// Classify runs the model over captures and emits stability records with
-// Env set to the capture's phone name. topK is the list length recorded for
-// top-k analyses (≥1).
-func Classify(m *nn.Model, captures []*Capture, topK int) []*stability.Record {
+// Classify runs an inference backend over captures and emits stability
+// records with Env set to the capture's phone name and Runtime set to the
+// backend's variant (*nn.Model is the float32 reference). topK is the list
+// length recorded for top-k analyses (≥1).
+func Classify(b nn.Backend, captures []*Capture, topK int) []*stability.Record {
 	images := make([]*imaging.Image, len(captures))
 	for i, c := range captures {
 		images[i] = c.Image
 	}
-	preds, scores, probs := train.Evaluate(m, images, 64)
+	preds, scores, probs := train.Evaluate(b, images, 64)
 	topks := train.TopKOf(probs, topK)
 	out := make([]*stability.Record, len(captures))
 	for i, c := range captures {
@@ -130,6 +131,7 @@ func Classify(m *nn.Model, captures []*Capture, topK int) []*stability.Record {
 			Angle:     c.Angle,
 			TrueClass: int(c.Item.Class),
 			Env:       c.Phone,
+			Runtime:   b.Name(),
 			Pred:      preds[i],
 			Score:     scores[i],
 			TopK:      topks[i],
@@ -141,8 +143,8 @@ func Classify(m *nn.Model, captures []*Capture, topK int) []*stability.Record {
 // ClassifyImages is the generic variant for experiments whose environments
 // are not phones (codecs, ISPs, decoders): the caller supplies one
 // environment name and the item/angle identities.
-func ClassifyImages(m *nn.Model, images []*imaging.Image, itemIDs, angles, labels []int, env string, topK int) []*stability.Record {
-	preds, scores, probs := train.Evaluate(m, images, 64)
+func ClassifyImages(b nn.Backend, images []*imaging.Image, itemIDs, angles, labels []int, env string, topK int) []*stability.Record {
+	preds, scores, probs := train.Evaluate(b, images, 64)
 	topks := train.TopKOf(probs, topK)
 	out := make([]*stability.Record, len(images))
 	for i := range images {
@@ -151,6 +153,7 @@ func ClassifyImages(m *nn.Model, images []*imaging.Image, itemIDs, angles, label
 			Angle:     angles[i],
 			TrueClass: labels[i],
 			Env:       env,
+			Runtime:   b.Name(),
 			Pred:      preds[i],
 			Score:     scores[i],
 			TopK:      topks[i],

@@ -288,8 +288,8 @@ func GridSearchAlpha(model *nn.Model, loss train.StabilityLoss, cfg StabilityExp
 
 // classifyWithProbs evaluates once and returns both stability records and
 // the probability rows the precision/recall curves need.
-func classifyWithProbs(model *nn.Model, images []*imaging.Image, ids, angles, labels []int, env string) ([]*stability.Record, [][]float64) {
-	preds, scores, probs := train.Evaluate(model, images, 64)
+func classifyWithProbs(b nn.Backend, images []*imaging.Image, ids, angles, labels []int, env string) ([]*stability.Record, [][]float64) {
+	preds, scores, probs := train.Evaluate(b, images, 64)
 	recs := make([]*stability.Record, len(images))
 	for i := range images {
 		t := tensor.New(1, len(probs[i]))
@@ -301,6 +301,7 @@ func classifyWithProbs(model *nn.Model, images []*imaging.Image, ids, angles, la
 			Angle:     angles[i],
 			TrueClass: labels[i],
 			Env:       env,
+			Runtime:   b.Name(),
 			Pred:      preds[i],
 			Score:     scores[i],
 			TopK:      nn.TopK(t, 0, 3),

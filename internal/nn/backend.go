@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Backend is an inference runtime: one concrete compilation of the trained
+// classifier. The paper's §7 observation is that the runtime stack itself is
+// a divergence source — the same weights quantized or differently compiled
+// produce different labels on near-identical inputs — so the reproduction
+// models the runtime as a first-class axis next to sensors, ISPs and codecs.
+//
+// Infer consumes a batch (N, 3, H, W) at the backend's input resolution and
+// returns softmax class probabilities as a flat row-major (N × NumClasses)
+// slice. The returned slice is freshly allocated and owned by the caller —
+// implementations must not recycle it across calls (callers retain
+// sub-slices of it; internal forward scratch is fine, the output buffer is
+// not). Implementations are deterministic: the same input yields the same
+// bytes on every call and at any worker count. Like *Model, backends may
+// keep internal forward scratch and are NOT safe for concurrent Infer
+// calls; the fleet keeps one replica per worker.
+type Backend interface {
+	// Name identifies the runtime variant (e.g. "float32", "int8").
+	Name() string
+	// Infer returns row-major softmax probabilities for the batch.
+	Infer(x *tensor.Tensor) []float64
+	// NumClasses is the width of one probability row.
+	NumClasses() int
+	// InputSize is the square input resolution the backend expects.
+	InputSize() int
+}
+
+// Runtime variant names. RuntimeFloat32 is the reference stack (the *Model
+// forward pass); the others are derived compilations of the same weights.
+const (
+	RuntimeFloat32 = "float32"
+	RuntimeInt8    = "int8"
+	RuntimePruned  = "pruned"
+)
+
+// Runtimes returns every known runtime variant, in deterministic order.
+func Runtimes() []string { return []string{RuntimeFloat32, RuntimeInt8, RuntimePruned} }
+
+// ValidRuntime reports whether name names a known runtime variant.
+func ValidRuntime(name string) bool {
+	for _, r := range Runtimes() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RuntimeOrDefault resolves a possibly-empty runtime name: the empty string
+// means the float32 reference (profiles and records predating the runtime
+// axis). Every layer that defaults a runtime name goes through this one
+// helper so the rule cannot drift.
+func RuntimeOrDefault(name string) string {
+	if name == "" {
+		return RuntimeFloat32
+	}
+	return name
+}
+
+// NewRuntimeBackend compiles a model into the named runtime variant. The
+// model is consumed: float32 wraps it directly, int8 reads its weights, and
+// pruned rewrites them in place — callers hand over a private replica (see
+// fleet.BackendReplicator). It panics on unknown variants; validate with
+// ValidRuntime at configuration boundaries.
+func NewRuntimeBackend(runtime string, m *Model) Backend {
+	switch runtime {
+	case RuntimeFloat32:
+		return m
+	case RuntimeInt8:
+		return NewInt8Backend(m)
+	case RuntimePruned:
+		return NewPrunedBackend(m, DefaultPruneKeep)
+	default:
+		panic(fmt.Sprintf("nn: unknown runtime %q (want one of %v)", runtime, Runtimes()))
+	}
+}
+
+// Name implements Backend: a *Model is the float32 reference runtime.
+func (m *Model) Name() string { return RuntimeFloat32 }
+
+// NumClasses implements Backend.
+func (m *Model) NumClasses() int { return m.Classes }
+
+// InputSize implements Backend.
+func (m *Model) InputSize() int { return m.InputHW }
+
+// Infer implements Backend: the standard eval-mode forward pass plus
+// softmax, flattened row-major.
+func (m *Model) Infer(x *tensor.Tensor) []float64 {
+	return flatProbs(m.Predict(x))
+}
+
+// flatProbs converts an (N, classes) probability tensor to the Backend wire
+// shape.
+func flatProbs(p *tensor.Tensor) []float64 {
+	out := make([]float64, p.Len())
+	for i, v := range p.Data() {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// DefaultPruneKeep is the weight fraction the pruned runtime keeps: top-70%
+// by magnitude. Without the fine-tuning real pruning pipelines add, this
+// micro model tolerates about this much sparsity before accuracy collapses
+// — which keeps the variant a plausible shipped build while still diverging
+// measurably from the float32 reference.
+const DefaultPruneKeep = 0.7
+
+// PrunedBackend is a magnitude-pruned compilation of the classifier: each
+// convolution / dense weight matrix keeps only its top-keep fraction of
+// entries by absolute value (BatchNorm parameters and biases are spared, as
+// usual for unstructured pruning), and the two dense layers — where the
+// zeros actually pay for themselves — are re-packed into a compressed sparse
+// row form that skips them. The backbone keeps the dense kernels and simply
+// multiplies by zeros, as a mobile runtime without sparse conv kernels
+// would.
+type PrunedBackend struct {
+	m           *Model
+	embed, head *sparseDense
+	keep        float64
+}
+
+// NewPrunedBackend prunes the model's weights in place to the top-keep
+// fraction and packs the dense layers. The backend takes ownership of the
+// model; callers hand over a private replica (see fleet.BackendReplicator).
+func NewPrunedBackend(m *Model, keep float64) *PrunedBackend {
+	if keep <= 0 || keep > 1 {
+		keep = DefaultPruneKeep
+	}
+	for _, p := range m.Params() {
+		if strings.HasSuffix(p.Name, ".weight") {
+			pruneToKeep(p.W.Data(), keep)
+		}
+	}
+	return &PrunedBackend{
+		m:     m,
+		embed: newSparseDense(m.Embed, true),
+		head:  newSparseDense(m.Head, false),
+		keep:  keep,
+	}
+}
+
+// Name implements Backend.
+func (b *PrunedBackend) Name() string { return RuntimePruned }
+
+// NumClasses implements Backend.
+func (b *PrunedBackend) NumClasses() int { return b.m.Classes }
+
+// InputSize implements Backend.
+func (b *PrunedBackend) InputSize() int { return b.m.InputHW }
+
+// Keep returns the kept weight fraction.
+func (b *PrunedBackend) Keep() float64 { return b.keep }
+
+// Infer implements Backend: pruned-dense backbone, then the sparse-packed
+// embedding and head.
+func (b *PrunedBackend) Infer(x *tensor.Tensor) []float64 {
+	f := b.m.Backbone.Forward(x, false)
+	e := b.embed.apply(f)
+	z := b.head.apply(e)
+	return flatProbs(Softmax(z))
+}
+
+// pruneToKeep zeroes every entry whose magnitude falls below the value at
+// the keep-quantile. Ties at the threshold survive, so slightly more than
+// keep·len entries may remain; the choice is deterministic either way.
+func pruneToKeep(w []float32, keep float64) {
+	n := len(w)
+	k := int(float64(n)*keep + 0.5)
+	if k >= n {
+		return
+	}
+	if k < 1 {
+		k = 1
+	}
+	abs := make([]float32, n)
+	for i, v := range w {
+		if v < 0 {
+			v = -v
+		}
+		abs[i] = v
+	}
+	sort.Slice(abs, func(i, j int) bool { return abs[i] > abs[j] })
+	threshold := abs[k-1]
+	for i, v := range w {
+		if v < threshold && -v < threshold {
+			w[i] = 0
+		}
+	}
+}
+
+// sparseDense is a CSR-packed dense layer: only surviving weights are
+// stored, one row per output unit.
+type sparseDense struct {
+	rowPtr  []int32
+	colIdx  []int32
+	val     []float32
+	bias    []float32
+	in, out int
+	relu    bool
+}
+
+func newSparseDense(d *Dense, relu bool) *sparseDense {
+	w := d.Weight.W.Data()
+	s := &sparseDense{in: d.in, out: d.out, relu: relu, rowPtr: make([]int32, d.out+1)}
+	s.bias = make([]float32, d.out)
+	copy(s.bias, d.Bias.W.Data())
+	for o := 0; o < d.out; o++ {
+		for j := 0; j < d.in; j++ {
+			if v := w[o*d.in+j]; v != 0 {
+				s.colIdx = append(s.colIdx, int32(j))
+				s.val = append(s.val, v)
+			}
+		}
+		s.rowPtr[o+1] = int32(len(s.val))
+	}
+	return s
+}
+
+func (s *sparseDense) apply(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, s.out)
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*s.in : (i+1)*s.in]
+		out := y.Data()[i*s.out : (i+1)*s.out]
+		for o := 0; o < s.out; o++ {
+			var acc float32
+			for p := s.rowPtr[o]; p < s.rowPtr[o+1]; p++ {
+				acc += s.val[p] * row[s.colIdx[p]]
+			}
+			v := acc + s.bias[o]
+			if s.relu && v < 0 {
+				v = 0
+			}
+			out[o] = v
+		}
+	}
+	return y
+}

@@ -1,0 +1,420 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Int8Backend is a post-training quantized compilation of the classifier:
+// BatchNorm is folded into the preceding convolution, the folded weights are
+// quantized once to int8 with a per-output-channel scale, and every conv /
+// dense layer runs an integer matmul (int8×int8 accumulated in int32) with a
+// single dequantization at the accumulator — the structure of a TFLite-style
+// dynamic-range kernel. Activations are quantized per sample with a
+// per-tensor scale, so a photo's logits do not depend on which batch it
+// shared an Infer call with.
+//
+// All rounding is round-half-away-from-zero and every loop runs in a fixed
+// order, so the backend is bit-deterministic; it diverges from the float32
+// reference only through the quantization itself, which is exactly the
+// runtime-stack instability the fleet measures.
+type Int8Backend struct {
+	ops         []qop
+	embed, head *qdense
+	classes     int
+	inputHW     int
+
+	// forward scratch, grown on demand (backends are single-worker like
+	// *Model, so plain fields need no locking)
+	colF []float32
+	colQ []int8
+}
+
+// NewInt8Backend quantizes the model's current weights. The model is only
+// read; it is not retained.
+func NewInt8Backend(m *Model) *Int8Backend {
+	b := &Int8Backend{classes: m.Classes, inputHW: m.InputHW}
+	b.ops = convertLayers(m.Backbone.Layers)
+	b.embed = newQDense(m.Embed, true)
+	b.head = newQDense(m.Head, false)
+	return b
+}
+
+// Name implements Backend.
+func (b *Int8Backend) Name() string { return RuntimeInt8 }
+
+// NumClasses implements Backend.
+func (b *Int8Backend) NumClasses() int { return b.classes }
+
+// InputSize implements Backend.
+func (b *Int8Backend) InputSize() int { return b.inputHW }
+
+// Infer implements Backend.
+func (b *Int8Backend) Infer(x *tensor.Tensor) []float64 {
+	for _, op := range b.ops {
+		x = op.forward(b, x)
+	}
+	e := b.embed.apply(x)
+	z := b.head.apply(e)
+	return flatProbs(Softmax(z))
+}
+
+// qop is one inference-only op of the quantized graph.
+type qop interface {
+	forward(b *Int8Backend, x *tensor.Tensor) *tensor.Tensor
+}
+
+// qround rounds half away from zero — the deterministic rounding every
+// quantization step in this backend uses.
+func qround(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return int32(v - 0.5)
+}
+
+// quantizeTo fills dst with round(src/scale) clamped to [-127, 127].
+func quantizeTo(dst []int8, src []float32, scale float32) {
+	inv := 1 / scale
+	for i, v := range src {
+		q := qround(v * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+}
+
+// absMaxScale returns the per-tensor activation scale absmax/127 (1 when the
+// tensor is all zero, so quantization is a no-op rather than a divide by 0).
+func absMaxScale(src []float32) float32 {
+	var m float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m / 127
+}
+
+// foldBN returns the per-channel scale a_c = γ_c/√(σ²_c+ε) and shift
+// b_c = β_c − μ_c·a_c that fold an eval-mode BatchNorm into the preceding
+// linear layer.
+func foldBN(bn *BatchNorm) (scale, shift []float32) {
+	n := len(bn.RunningMean)
+	scale = make([]float32, n)
+	shift = make([]float32, n)
+	g := bn.Gamma.W.Data()
+	beta := bn.Beta.W.Data()
+	for c := 0; c < n; c++ {
+		a := g[c] / float32(math.Sqrt(float64(bn.RunningVar[c])+float64(bn.Eps)))
+		scale[c] = a
+		shift[c] = beta[c] - bn.RunningMean[c]*a
+	}
+	return scale, shift
+}
+
+// quantizeRows quantizes a (rows, k) weight matrix with one scale per row
+// (per output channel), after multiplying row c by fold[c] when fold != nil.
+func quantizeRows(w []float32, rows, k int, fold []float32) (q []int8, scales []float32) {
+	q = make([]int8, rows*k)
+	scales = make([]float32, rows)
+	row := make([]float32, k)
+	for c := 0; c < rows; c++ {
+		copy(row, w[c*k:(c+1)*k])
+		if fold != nil {
+			for j := range row {
+				row[j] *= fold[c]
+			}
+		}
+		s := absMaxScale(row)
+		scales[c] = s
+		quantizeTo(q[c*k:(c+1)*k], row, s)
+	}
+	return q, scales
+}
+
+// convertLayers pattern-matches the float layer graph into quantized ops:
+// Conv2D/DepthwiseConv2D followed by BatchNorm (and optionally ReLU6) fuse
+// into one integer kernel; Residual recurses; GlobalAvgPool stays float.
+func convertLayers(layers []Layer) []qop {
+	var ops []qop
+	for i := 0; i < len(layers); i++ {
+		switch l := layers[i].(type) {
+		case *Conv2D:
+			bn, n := followingBN(layers, i)
+			relu, n2 := followingReLU6(layers, i+n)
+			ops = append(ops, newQConv(l, bn, relu))
+			i += n + n2
+		case *DepthwiseConv2D:
+			bn, n := followingBN(layers, i)
+			relu, n2 := followingReLU6(layers, i+n)
+			ops = append(ops, newQDepthwise(l, bn, relu))
+			i += n + n2
+		case *Residual:
+			body, ok := l.Body.(*Sequential)
+			if !ok {
+				panic(fmt.Sprintf("nn: int8 convert: residual body %T is not *Sequential", l.Body))
+			}
+			ops = append(ops, &qresidual{body: convertLayers(body.Layers)})
+		case *Sequential:
+			ops = append(ops, convertLayers(l.Layers)...)
+		case *GlobalAvgPool:
+			ops = append(ops, &qpool{})
+		default:
+			panic(fmt.Sprintf("nn: int8 convert: unsupported layer %T", l))
+		}
+	}
+	return ops
+}
+
+// followingBN returns the BatchNorm directly after index i, which the micro
+// model guarantees for every convolution (convolutions carry no bias; BN
+// supplies the shift the folded kernel needs).
+func followingBN(layers []Layer, i int) (*BatchNorm, int) {
+	if i+1 < len(layers) {
+		if bn, ok := layers[i+1].(*BatchNorm); ok {
+			return bn, 1
+		}
+	}
+	panic(fmt.Sprintf("nn: int8 convert: convolution at %d not followed by BatchNorm", i))
+}
+
+func followingReLU6(layers []Layer, i int) (bool, int) {
+	if i+1 < len(layers) {
+		if _, ok := layers[i+1].(*ReLU6); ok {
+			return true, 1
+		}
+	}
+	return false, 0
+}
+
+// colBufs returns the shared im2col scratch, grown to hold n values.
+func (b *Int8Backend) colBufs(n int) ([]float32, []int8) {
+	if cap(b.colF) < n {
+		b.colF = make([]float32, n)
+		b.colQ = make([]int8, n)
+	}
+	return b.colF[:n], b.colQ[:n]
+}
+
+// qconv is a fused Conv2D+BatchNorm(+ReLU6) with int8 weights.
+type qconv struct {
+	w     []int8    // (outC, k) quantized folded weights
+	ws    []float32 // per-output-channel weight scale
+	bias  []float32 // folded BatchNorm shift
+	outC  int
+	dims  tensor.ConvDims
+	relu6 bool
+}
+
+func newQConv(c *Conv2D, bn *BatchNorm, relu6 bool) *qconv {
+	outC := c.Weight.W.Dim(0)
+	k := c.Weight.W.Dim(1)
+	fold, bias := foldBN(bn)
+	q, ws := quantizeRows(c.Weight.W.Data(), outC, k, fold)
+	return &qconv{w: q, ws: ws, bias: bias, outC: outC, dims: c.dims, relu6: relu6}
+}
+
+func (l *qconv) forward(b *Int8Backend, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	d := l.dims
+	d.InH, d.InW = x.Dim(2), x.Dim(3)
+	outH, outW := d.OutH(), d.OutW()
+	p := outH * outW
+	k := d.InC * d.KH * d.KW
+	y := tensor.New(n, l.outC, outH, outW)
+	imgIn := d.InC * d.InH * d.InW
+	colF, colQ := b.colBufs(p * k)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col(colF, x.Data()[i*imgIn:(i+1)*imgIn], d)
+		ax := absMaxScale(colF)
+		quantizeTo(colQ, colF, ax)
+		dst := y.Data()[i*l.outC*p:]
+		for c := 0; c < l.outC; c++ {
+			wrow := l.w[c*k : (c+1)*k]
+			deq := l.ws[c] * ax
+			bias := l.bias[c]
+			out := dst[c*p : (c+1)*p]
+			for pi := 0; pi < p; pi++ {
+				crow := colQ[pi*k : (pi+1)*k]
+				var acc int32
+				for j, wv := range wrow {
+					acc += int32(wv) * int32(crow[j])
+				}
+				v := float32(acc)*deq + bias
+				if l.relu6 {
+					if v < 0 {
+						v = 0
+					} else if v > 6 {
+						v = 6
+					}
+				}
+				out[pi] = v
+			}
+		}
+	}
+	return y
+}
+
+// qdepthwise is a fused DepthwiseConv2D+BatchNorm(+ReLU6) with int8 weights.
+type qdepthwise struct {
+	w      []int8    // (ch, kh*kw)
+	ws     []float32 // per-channel weight scale
+	bias   []float32
+	ch     int
+	kh, kw int
+	stride int
+	pad    int
+	relu6  bool
+}
+
+func newQDepthwise(l *DepthwiseConv2D, bn *BatchNorm, relu6 bool) *qdepthwise {
+	fold, bias := foldBN(bn)
+	q, ws := quantizeRows(l.Weight.W.Data(), l.ch, l.kh*l.kw, fold)
+	return &qdepthwise{w: q, ws: ws, bias: bias, ch: l.ch, kh: l.kh, kw: l.kw, stride: l.stride, pad: l.pad, relu6: relu6}
+}
+
+func (l *qdepthwise) forward(b *Int8Backend, x *tensor.Tensor) *tensor.Tensor {
+	n, inH, inW := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (inH+2*l.pad-l.kh)/l.stride + 1
+	outW := (inW+2*l.pad-l.kw)/l.stride + 1
+	y := tensor.New(n, l.ch, outH, outW)
+	imgIn := l.ch * inH * inW
+	imgOut := l.ch * outH * outW
+	_, qplane := b.colBufs(inH * inW)
+	for i := 0; i < n; i++ {
+		src := x.Data()[i*imgIn:]
+		dst := y.Data()[i*imgOut:]
+		for c := 0; c < l.ch; c++ {
+			plane := src[c*inH*inW : (c+1)*inH*inW]
+			ax := absMaxScale(plane)
+			quantizeTo(qplane[:inH*inW], plane, ax)
+			ker := l.w[c*l.kh*l.kw : (c+1)*l.kh*l.kw]
+			deq := l.ws[c] * ax
+			bias := l.bias[c]
+			out := dst[c*outH*outW : (c+1)*outH*outW]
+			idx := 0
+			for oy := 0; oy < outH; oy++ {
+				iy0 := oy*l.stride - l.pad
+				for ox := 0; ox < outW; ox++ {
+					ix0 := ox*l.stride - l.pad
+					var acc int32
+					for ky := 0; ky < l.kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						row := qplane[iy*inW:]
+						kr := ker[ky*l.kw:]
+						for kx := 0; kx < l.kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < inW {
+								acc += int32(row[ix]) * int32(kr[kx])
+							}
+						}
+					}
+					v := float32(acc)*deq + bias
+					if l.relu6 {
+						if v < 0 {
+							v = 0
+						} else if v > 6 {
+							v = 6
+						}
+					}
+					out[idx] = v
+					idx++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// qresidual wraps a quantized body with the identity skip.
+type qresidual struct {
+	body []qop
+}
+
+func (l *qresidual) forward(b *Int8Backend, x *tensor.Tensor) *tensor.Tensor {
+	y := x
+	for _, op := range l.body {
+		y = op.forward(b, y)
+	}
+	out := y.Clone()
+	out.AddScaled(1, x)
+	return out
+}
+
+// qpool is float global average pooling: a handful of adds per channel is
+// not worth a quantization error.
+type qpool struct{}
+
+func (l *qpool) forward(_ *Int8Backend, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	y := tensor.New(n, c)
+	hw := h * w
+	inv := 1 / float32(hw)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			src := x.Data()[(i*c+j)*hw : (i*c+j+1)*hw]
+			var s float32
+			for _, v := range src {
+				s += v
+			}
+			y.Data()[i*c+j] = s * inv
+		}
+	}
+	return y
+}
+
+// qdense is an int8 dense layer with float bias and optional ReLU.
+type qdense struct {
+	w       []int8    // (out, in)
+	ws      []float32 // per-output-row weight scale
+	bias    []float32
+	in, out int
+	relu    bool
+}
+
+func newQDense(d *Dense, relu bool) *qdense {
+	q, ws := quantizeRows(d.Weight.W.Data(), d.out, d.in, nil)
+	bias := make([]float32, d.out)
+	copy(bias, d.Bias.W.Data())
+	return &qdense{w: q, ws: ws, bias: bias, in: d.in, out: d.out, relu: relu}
+}
+
+func (l *qdense) apply(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, l.out)
+	qrow := make([]int8, l.in)
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*l.in : (i+1)*l.in]
+		ax := absMaxScale(row)
+		quantizeTo(qrow, row, ax)
+		out := y.Data()[i*l.out : (i+1)*l.out]
+		for o := 0; o < l.out; o++ {
+			wrow := l.w[o*l.in : (o+1)*l.in]
+			var acc int32
+			for j, wv := range wrow {
+				acc += int32(wv) * int32(qrow[j])
+			}
+			v := float32(acc)*(l.ws[o]*ax) + l.bias[o]
+			if l.relu && v < 0 {
+				v = 0
+			}
+			out[o] = v
+		}
+	}
+	return y
+}

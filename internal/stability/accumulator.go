@@ -8,36 +8,71 @@ import (
 
 // Accumulator measures instability incrementally. Where Compute re-groups
 // the full record slice on every call, an Accumulator folds each Record into
-// per-group and per-environment counters as it arrives, so a live fleet run
-// can publish up-to-date summaries without retaining or re-scanning its
-// record stream. Snapshot at any point equals the batch functions applied to
-// the records added so far.
+// per-group, per-environment and per-runtime counters as it arrives, so a
+// live fleet run can publish up-to-date summaries without retaining or
+// re-scanning its record stream. Snapshot at any point equals the batch
+// functions applied to the records added so far.
 //
 // The accumulator is safe for concurrent Add and Snapshot, and its state is
 // order-independent: any interleaving of the same multiset of records yields
 // the same Snapshot, which is what makes sharded fleet runs reproducible
-// regardless of worker count.
+// regardless of worker count. Merge folds another accumulator's state in
+// (merge of shards == one batch accumulator), and MarshalState /
+// UnmarshalState move that state across processes for distributed shards.
 type Accumulator struct {
-	mu     sync.Mutex
-	groups map[GroupKey]*groupCounts
-	envs   map[string]*envCounts
+	mu       sync.Mutex
+	groups   map[GroupKey]*groupCounts
+	envs     map[string]*envCounts
+	runtimes map[string]*envCounts
+	// cells backs the CrossRuntime attribution: per (item, angle, env),
+	// which runtimes have been observed and whether each was ever correct /
+	// incorrect there (two bits per runtime — ORed, so merging stays
+	// order-independent). Distinct cells are bounded by the record stream's
+	// own (scene × device) extent, the same order as the envs map times the
+	// group count.
+	cells map[cellKey]map[string]uint8
 }
 
-// groupCounts is the running correctness tally for one (item, angle) group.
+// cellKey identifies one device looking at one scene — the granularity at
+// which a runtime flip is attributable to the runtime alone.
+type cellKey struct {
+	item, angle int
+	env         string
+}
+
+// Cell observation bits.
+const (
+	cellCorrect   = 1
+	cellIncorrect = 2
+)
+
+// groupCounts is the running correctness tally for one (item, angle) group,
+// overall and split by inference runtime.
 type groupCounts struct {
 	class                int
 	correct, incorrect   int // top-1
 	correctK, incorrectK int // top-k
+	byRuntime            map[string]*runtimeTally
 }
 
-// envCounts is the running accuracy tally for one environment.
+// runtimeTally is one runtime's top-1 correctness inside one group.
+type runtimeTally struct {
+	correct, incorrect int
+}
+
+// envCounts is the running accuracy tally for one environment or runtime.
 type envCounts struct {
 	total, correct, correctK int
 }
 
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{groups: map[GroupKey]*groupCounts{}, envs: map[string]*envCounts{}}
+	return &Accumulator{
+		groups:   map[GroupKey]*groupCounts{},
+		envs:     map[string]*envCounts{},
+		runtimes: map[string]*envCounts{},
+		cells:    map[cellKey]map[string]uint8{},
+	}
 }
 
 // Add folds one record into the running summaries.
@@ -47,33 +82,56 @@ func (a *Accumulator) Add(r *Record) {
 	k := GroupKey{r.ItemID, r.Angle}
 	g, ok := a.groups[k]
 	if !ok {
-		g = &groupCounts{class: r.TrueClass}
+		g = &groupCounts{class: r.TrueClass, byRuntime: map[string]*runtimeTally{}}
 		a.groups[k] = g
 	}
 	if r.TrueClass != g.class {
 		panic(fmt.Sprintf("stability: item %d has conflicting labels %d and %d", r.ItemID, g.class, r.TrueClass))
 	}
+	rt := r.RuntimeName()
+	t, ok := g.byRuntime[rt]
+	if !ok {
+		t = &runtimeTally{}
+		g.byRuntime[rt] = t
+	}
 	if r.Correct() {
 		g.correct++
+		t.correct++
 	} else {
 		g.incorrect++
+		t.incorrect++
 	}
 	if r.CorrectTopK() {
 		g.correctK++
 	} else {
 		g.incorrectK++
 	}
-	e, ok := a.envs[r.Env]
+	bump := func(m map[string]*envCounts, key string) {
+		e, ok := m[key]
+		if !ok {
+			e = &envCounts{}
+			m[key] = e
+		}
+		e.total++
+		if r.Correct() {
+			e.correct++
+		}
+		if r.CorrectTopK() {
+			e.correctK++
+		}
+	}
+	bump(a.envs, r.Env)
+	bump(a.runtimes, rt)
+	ck := cellKey{r.ItemID, r.Angle, r.Env}
+	cell, ok := a.cells[ck]
 	if !ok {
-		e = &envCounts{}
-		a.envs[r.Env] = e
+		cell = map[string]uint8{}
+		a.cells[ck] = cell
 	}
-	e.total++
 	if r.Correct() {
-		e.correct++
-	}
-	if r.CorrectTopK() {
-		e.correctK++
+		cell[rt] |= cellCorrect
+	} else {
+		cell[rt] |= cellIncorrect
 	}
 }
 
@@ -81,6 +139,75 @@ func (a *Accumulator) Add(r *Record) {
 func (a *Accumulator) AddAll(rs []*Record) {
 	for _, r := range rs {
 		a.Add(r)
+	}
+}
+
+// mergeMu serializes cross-accumulator lock acquisition in Merge: with only
+// one goroutine ever holding two accumulator locks at a time, concurrent
+// opposite-direction merges cannot deadlock. Merges are rare (shard
+// boundaries, not record ingestion), so the global lock costs nothing.
+var mergeMu sync.Mutex
+
+// Merge folds another accumulator's state into this one: the result equals
+// one accumulator fed both record streams, in any order. The other
+// accumulator is only read. It panics when the shards disagree on a group's
+// true class, the same contract Add enforces record by record.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if a == other {
+		panic("stability: Accumulator.Merge with itself")
+	}
+	mergeMu.Lock()
+	defer mergeMu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	for k, og := range other.groups {
+		g, ok := a.groups[k]
+		if !ok {
+			g = &groupCounts{class: og.class, byRuntime: map[string]*runtimeTally{}}
+			a.groups[k] = g
+		}
+		if og.class != g.class {
+			panic(fmt.Sprintf("stability: merge: item %d has conflicting labels %d and %d", k.ItemID, g.class, og.class))
+		}
+		g.correct += og.correct
+		g.incorrect += og.incorrect
+		g.correctK += og.correctK
+		g.incorrectK += og.incorrectK
+		for rt, ot := range og.byRuntime {
+			t, ok := g.byRuntime[rt]
+			if !ok {
+				t = &runtimeTally{}
+				g.byRuntime[rt] = t
+			}
+			t.correct += ot.correct
+			t.incorrect += ot.incorrect
+		}
+	}
+	mergeEnvs := func(dst, src map[string]*envCounts) {
+		for name, oe := range src {
+			e, ok := dst[name]
+			if !ok {
+				e = &envCounts{}
+				dst[name] = e
+			}
+			e.total += oe.total
+			e.correct += oe.correct
+			e.correctK += oe.correctK
+		}
+	}
+	mergeEnvs(a.envs, other.envs)
+	mergeEnvs(a.runtimes, other.runtimes)
+	for ck, ocell := range other.cells {
+		cell, ok := a.cells[ck]
+		if !ok {
+			cell = map[string]uint8{}
+			a.cells[ck] = cell
+		}
+		for rt, bits := range ocell {
+			cell[rt] |= bits
+		}
 	}
 }
 
@@ -92,30 +219,53 @@ type EnvAccuracy struct {
 	TopKAccuracy float64 `json:"topk_accuracy"`
 }
 
+// RuntimeAccuracy summarizes one inference runtime: its accuracy over all
+// records it produced and its within-runtime instability (groups where this
+// runtime alone both succeeded and failed — divergence the runtime cannot be
+// blamed for, since the stack was held fixed).
+type RuntimeAccuracy struct {
+	Runtime      string  `json:"runtime"`
+	Records      int     `json:"records"`
+	Accuracy     float64 `json:"accuracy"`
+	TopKAccuracy float64 `json:"topk_accuracy"`
+	Top1         Summary `json:"top1"`
+}
+
 // AccumulatorSnapshot is a point-in-time summary of everything added so far.
 // All slices are in deterministic (sorted) order so that two runs over the
 // same records marshal to identical JSON.
 type AccumulatorSnapshot struct {
-	Records      int             `json:"records"`
-	Top1         Summary         `json:"top1"`
-	TopK         Summary         `json:"topk"`
-	Accuracy     float64         `json:"accuracy"`
-	TopKAccuracy float64         `json:"topk_accuracy"`
-	ByEnv        []EnvAccuracy   `json:"by_env,omitempty"`
-	ByClass      map[int]Summary `json:"by_class,omitempty"`
+	Records      int               `json:"records"`
+	Top1         Summary           `json:"top1"`
+	TopK         Summary           `json:"topk"`
+	Accuracy     float64           `json:"accuracy"`
+	TopKAccuracy float64           `json:"topk_accuracy"`
+	ByEnv        []EnvAccuracy     `json:"by_env,omitempty"`
+	ByClass      map[int]Summary   `json:"by_class,omitempty"`
+	ByRuntime    []RuntimeAccuracy `json:"by_runtime,omitempty"`
+	// CrossRuntime counts, over (item, angle, env) cells seen by ≥2
+	// runtimes — the same device, same scene, different stacks — those
+	// where correctness flips across runtimes while each runtime is
+	// internally consistent. Matches the batch CrossRuntime function; 0/0
+	// in mixed fleets where every device runs a single runtime.
+	CrossRuntime Summary `json:"cross_runtime"`
 }
 
 // Snapshot summarizes the records added so far. It matches the batch
 // functions exactly: Top1 == Compute(records), TopK == ComputeTopK(records),
-// Accuracy == Accuracy(records, ""), ByClass == ByClass(records).
+// Accuracy == Accuracy(records, ""), ByClass == ByClass(records), ByRuntime
+// == ByRuntime(records) + per-runtime accuracies, CrossRuntime ==
+// CrossRuntime(records).
 func (a *Accumulator) Snapshot() AccumulatorSnapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := AccumulatorSnapshot{ByClass: map[int]Summary{}}
 	s.Top1.Groups = len(a.groups)
 	s.TopK.Groups = len(a.groups)
+	runtimeGroups := map[string]*Summary{}
 	for _, g := range a.groups {
-		if g.correct > 0 && g.incorrect > 0 {
+		unstable := g.correct > 0 && g.incorrect > 0
+		if unstable {
 			s.Top1.Unstable++
 		}
 		if g.correctK > 0 && g.incorrectK > 0 {
@@ -123,11 +273,45 @@ func (a *Accumulator) Snapshot() AccumulatorSnapshot {
 		}
 		c := s.ByClass[g.class]
 		c.Groups++
-		if g.correct > 0 && g.incorrect > 0 {
+		if unstable {
 			c.Unstable++
 		}
 		s.ByClass[g.class] = c
+		for rt, t := range g.byRuntime {
+			rs, ok := runtimeGroups[rt]
+			if !ok {
+				rs = &Summary{}
+				runtimeGroups[rt] = rs
+			}
+			rs.Groups++
+			if t.correct > 0 && t.incorrect > 0 {
+				rs.Unstable++
+			}
+		}
 	}
+
+	for _, cell := range a.cells {
+		if len(cell) < 2 {
+			continue
+		}
+		s.CrossRuntime.Groups++
+		anyCorrect, anyIncorrect, consistent := false, false, true
+		for _, bits := range cell {
+			if bits&cellCorrect != 0 {
+				anyCorrect = true
+			}
+			if bits&cellIncorrect != 0 {
+				anyIncorrect = true
+			}
+			if bits == cellCorrect|cellIncorrect {
+				consistent = false
+			}
+		}
+		if anyCorrect && anyIncorrect && consistent {
+			s.CrossRuntime.Unstable++
+		}
+	}
+
 	total, correct, correctK := 0, 0, 0
 	envNames := make([]string, 0, len(a.envs))
 	for e := range a.envs {
@@ -149,6 +333,25 @@ func (a *Accumulator) Snapshot() AccumulatorSnapshot {
 	s.Records = total
 	s.Accuracy = ratio(correct, total)
 	s.TopKAccuracy = ratio(correctK, total)
+
+	runtimeNames := make([]string, 0, len(a.runtimes))
+	for rt := range a.runtimes {
+		runtimeNames = append(runtimeNames, rt)
+	}
+	sort.Strings(runtimeNames)
+	for _, rt := range runtimeNames {
+		e := a.runtimes[rt]
+		ra := RuntimeAccuracy{
+			Runtime:      rt,
+			Records:      e.total,
+			Accuracy:     ratio(e.correct, e.total),
+			TopKAccuracy: ratio(e.correctK, e.total),
+		}
+		if rs := runtimeGroups[rt]; rs != nil {
+			ra.Top1 = *rs
+		}
+		s.ByRuntime = append(s.ByRuntime, ra)
+	}
 	return s
 }
 

@@ -7,9 +7,11 @@ import (
 )
 
 // randomRecords draws a record stream with repeated (item, angle) groups,
-// several environments, and top-k lists that sometimes contain the label.
+// several environments, a mix of runtimes (including the legacy empty
+// string), and top-k lists that sometimes contain the label.
 func randomRecords(rng *rand.Rand, n int) []*Record {
 	envs := []string{"phone-a", "phone-b", "phone-c", "phone-d"}
+	runtimes := []string{"", "float32", "int8", "pruned"}
 	out := make([]*Record, n)
 	for i := range out {
 		item := rng.Intn(20)
@@ -18,6 +20,7 @@ func randomRecords(rng *rand.Rand, n int) []*Record {
 			Angle:     rng.Intn(3),
 			TrueClass: item % 5, // label is a function of the item, so groups agree
 			Env:       envs[rng.Intn(len(envs))],
+			Runtime:   runtimes[rng.Intn(len(runtimes))],
 			Pred:      rng.Intn(5),
 			Score:     rng.Float64(),
 		}

@@ -8,8 +8,14 @@ import (
 	"strings"
 )
 
-// csvHeader is the column layout of WriteCSV/ReadCSV.
-var csvHeader = []string{"item_id", "angle", "true_class", "env", "pred", "score", "topk"}
+// csvHeader is the column layout of WriteCSV/ReadCSV. legacyCSVHeader is
+// the pre-runtime layout; ReadCSV still accepts it (Runtime defaults to "",
+// the float32 reference) so exports made before the runtime axis stay
+// loadable.
+var (
+	csvHeader       = []string{"item_id", "angle", "true_class", "env", "runtime", "pred", "score", "topk"}
+	legacyCSVHeader = []string{"item_id", "angle", "true_class", "env", "pred", "score", "topk"}
+)
 
 // WriteCSV exports records for downstream analysis (spreadsheets, pandas,
 // R). TopK is encoded as a ';'-separated list.
@@ -28,6 +34,7 @@ func WriteCSV(w io.Writer, records []*Record) error {
 			strconv.Itoa(r.Angle),
 			strconv.Itoa(r.TrueClass),
 			r.Env,
+			r.Runtime,
 			strconv.Itoa(r.Pred),
 			strconv.FormatFloat(r.Score, 'f', 6, 64),
 			strings.Join(topk, ";"),
@@ -50,15 +57,27 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("stability: empty CSV")
 	}
-	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
-		return nil, fmt.Errorf("stability: unexpected CSV header %v", rows[0])
+	header := rows[0]
+	legacy := false
+	switch strings.Join(header, ",") {
+	case strings.Join(csvHeader, ","):
+	case strings.Join(legacyCSVHeader, ","):
+		legacy = true
+	default:
+		return nil, fmt.Errorf("stability: unexpected CSV header %v", header)
 	}
 	records := make([]*Record, 0, len(rows)-1)
 	for n, row := range rows[1:] {
-		if len(row) != len(csvHeader) {
+		if len(row) != len(header) {
 			return nil, fmt.Errorf("stability: row %d has %d columns", n+1, len(row))
 		}
 		rec := &Record{Env: row[3]}
+		// Column positions after env shift by one between the layouts.
+		pred, score, topk := row[4], row[5], row[6]
+		if !legacy {
+			rec.Runtime = row[4]
+			pred, score, topk = row[5], row[6], row[7]
+		}
 		var err error
 		if rec.ItemID, err = strconv.Atoi(row[0]); err != nil {
 			return nil, fmt.Errorf("stability: row %d item_id: %w", n+1, err)
@@ -69,14 +88,14 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 		if rec.TrueClass, err = strconv.Atoi(row[2]); err != nil {
 			return nil, fmt.Errorf("stability: row %d true_class: %w", n+1, err)
 		}
-		if rec.Pred, err = strconv.Atoi(row[4]); err != nil {
+		if rec.Pred, err = strconv.Atoi(pred); err != nil {
 			return nil, fmt.Errorf("stability: row %d pred: %w", n+1, err)
 		}
-		if rec.Score, err = strconv.ParseFloat(row[5], 64); err != nil {
+		if rec.Score, err = strconv.ParseFloat(score, 64); err != nil {
 			return nil, fmt.Errorf("stability: row %d score: %w", n+1, err)
 		}
-		if row[6] != "" {
-			for _, part := range strings.Split(row[6], ";") {
+		if topk != "" {
+			for _, part := range strings.Split(topk, ";") {
 				k, err := strconv.Atoi(part)
 				if err != nil {
 					return nil, fmt.Errorf("stability: row %d topk: %w", n+1, err)

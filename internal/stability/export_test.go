@@ -73,6 +73,31 @@ func TestCSVRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestReadCSVLegacyHeader keeps exports from before the runtime column
+// loadable: the old 7-column layout parses with Runtime left empty (the
+// float32 reference under RuntimeName).
+func TestReadCSVLegacyHeader(t *testing.T) {
+	input := "item_id,angle,true_class,env,pred,score,topk\n" +
+		"1,2,3,samsung,3,0.912345,3;1;0\n"
+	back, err := ReadCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d records", len(back))
+	}
+	r := back[0]
+	if r.ItemID != 1 || r.Angle != 2 || r.TrueClass != 3 || r.Env != "samsung" || r.Pred != 3 {
+		t.Fatalf("legacy record %+v", r)
+	}
+	if r.Runtime != "" || r.RuntimeName() != "float32" {
+		t.Fatalf("legacy runtime %q/%q", r.Runtime, r.RuntimeName())
+	}
+	if len(r.TopK) != 3 || r.TopK[0] != 3 {
+		t.Fatalf("legacy topk %v", r.TopK)
+	}
+}
+
 func TestReadCSVRejectsGarbage(t *testing.T) {
 	for _, input := range []string{
 		"",

@@ -10,6 +10,8 @@ package stability
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/nn"
 )
 
 // Record is a single model prediction in one environment.
@@ -18,10 +20,15 @@ type Record struct {
 	Angle     int     // camera angle (0..4) or 0 when not applicable
 	TrueClass int     // ground-truth label
 	Env       string  // environment: phone model, codec name, ISP name, ...
+	Runtime   string  // inference runtime variant ("" means float32 reference)
 	Pred      int     // top-1 predicted class
 	Score     float64 // confidence of the top-1 prediction, in [0,1]
 	TopK      []int   // top-k predicted classes in descending confidence
 }
+
+// RuntimeName returns the record's runtime variant, treating the empty
+// string as the float32 reference (records predating the runtime axis).
+func (r *Record) RuntimeName() string { return nn.RuntimeOrDefault(r.Runtime) }
 
 // Correct reports whether the top-1 prediction matches the label.
 func (r *Record) Correct() bool { return r.Pred == r.TrueClass }
@@ -160,6 +167,82 @@ func ByClass(records []*Record) map[int]Summary {
 		out[g.Class] = s
 	}
 	return out
+}
+
+// ByRuntime computes within-runtime instability separately for each
+// inference runtime: the divergence that remains when every prediction in a
+// group ran on the same stack (optics, noise, ISP and codec effects only).
+func ByRuntime(records []*Record) map[string]Summary {
+	byRuntime := map[string][]*Record{}
+	for _, r := range records {
+		rt := r.RuntimeName()
+		byRuntime[rt] = append(byRuntime[rt], r)
+	}
+	out := map[string]Summary{}
+	for rt, recs := range byRuntime {
+		out[rt] = Compute(recs)
+	}
+	return out
+}
+
+// CrossRuntime measures instability attributable to the runtime stack
+// itself, at the granularity the paper's §7 comparison uses: the same
+// device looking at the same scene through two stacks. Records are bucketed
+// into (item, angle, env) cells; over cells observed by at least two
+// runtimes, it counts those where correctness flips across runtimes while
+// every runtime is internally consistent within the cell. Device optics,
+// noise, ISP and codec are all held fixed inside a cell, so such a flip can
+// only be explained by the runtime axis — "same weights, different
+// compilation, different label" as a single number.
+//
+// In a mixed fleet each device runs one runtime, so no cell sees two stacks
+// and the summary is 0/0; the number becomes meaningful when the same
+// devices are swept under forced runtimes and the record sets (or
+// accumulator states) are merged — see examples/backendsweep.
+func CrossRuntime(records []*Record) Summary {
+	type cellKey struct {
+		item, angle int
+		env         string
+	}
+	cells := map[cellKey]map[string][2]int{} // runtime → (correct, incorrect)
+	for _, r := range records {
+		k := cellKey{r.ItemID, r.Angle, r.Env}
+		c, ok := cells[k]
+		if !ok {
+			c = map[string][2]int{}
+			cells[k] = c
+		}
+		t := c[r.RuntimeName()]
+		if r.Correct() {
+			t[0]++
+		} else {
+			t[1]++
+		}
+		c[r.RuntimeName()] = t
+	}
+	var s Summary
+	for _, c := range cells {
+		if len(c) < 2 {
+			continue
+		}
+		s.Groups++
+		anyCorrect, anyIncorrect, consistent := false, false, true
+		for _, t := range c {
+			if t[0] > 0 {
+				anyCorrect = true
+			}
+			if t[1] > 0 {
+				anyIncorrect = true
+			}
+			if t[0] > 0 && t[1] > 0 {
+				consistent = false
+			}
+		}
+		if anyCorrect && anyIncorrect && consistent {
+			s.Unstable++
+		}
+	}
+	return s
 }
 
 // ByAngle computes instability separately per camera angle.

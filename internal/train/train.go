@@ -50,12 +50,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// resizeToModel scales an image to the model's input resolution.
+// resizeToModel scales an image to the model's input resolution (the
+// training-side alias of resizeToBackend, so train- and eval-time
+// preprocessing cannot diverge).
 func resizeToModel(m *nn.Model, im *imaging.Image) *imaging.Image {
-	if im.W == m.InputHW && im.H == m.InputHW {
-		return im
-	}
-	return imaging.Resize(im, m.InputHW, m.InputHW)
+	return resizeToBackend(m, im)
 }
 
 // Classifier trains the model with plain cross-entropy on the given images,
@@ -106,12 +105,22 @@ func Classifier(m *nn.Model, images []*imaging.Image, labels []int, cfg Config) 
 	return lastLoss
 }
 
-// Evaluate runs the model in eval mode over images (resized as needed) and
+// resizeToBackend scales an image to the backend's input resolution.
+func resizeToBackend(b nn.Backend, im *imaging.Image) *imaging.Image {
+	if im.W == b.InputSize() && im.H == b.InputSize() {
+		return im
+	}
+	return imaging.Resize(im, b.InputSize(), b.InputSize())
+}
+
+// Evaluate runs an inference backend over images (resized as needed) and
 // returns top-1 predictions, their confidences, and full probability rows.
-func Evaluate(m *nn.Model, images []*imaging.Image, batchSize int) (preds []int, scores []float64, probs [][]float64) {
+// Any nn.Backend works here; *nn.Model is the float32 reference.
+func Evaluate(b nn.Backend, images []*imaging.Image, batchSize int) (preds []int, scores []float64, probs [][]float64) {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
+	classes := b.NumClasses()
 	preds = make([]int, len(images))
 	scores = make([]float64, len(images))
 	probs = make([][]float64, len(images))
@@ -122,17 +131,18 @@ func Evaluate(m *nn.Model, images []*imaging.Image, batchSize int) (preds []int,
 		}
 		batch := make([]*imaging.Image, end-start)
 		for i := start; i < end; i++ {
-			batch[i-start] = resizeToModel(m, images[i])
+			batch[i-start] = resizeToBackend(b, images[i])
 		}
-		p := m.Predict(imaging.BatchTensor(batch))
+		p := b.Infer(imaging.BatchTensor(batch))
 		for i := start; i < end; i++ {
-			bi := i - start
-			pred := nn.Argmax(p, bi)
-			preds[i] = pred
-			row := make([]float64, m.Classes)
-			for c := 0; c < m.Classes; c++ {
-				row[c] = float64(p.At(bi, c))
+			row := p[(i-start)*classes : (i-start+1)*classes]
+			pred := 0
+			for c, v := range row {
+				if v > row[pred] {
+					pred = c
+				}
 			}
+			preds[i] = pred
 			probs[i] = row
 			scores[i] = row[pred]
 		}
