@@ -2,129 +2,52 @@
 // trains (or loads) the shared base model once, then simulates synthesized
 // device fleets on demand, streaming stability summaries while runs are in
 // flight. It is the continuous-monitoring counterpart to the one-shot
-// experiment binaries: point it at a seed and fleet size, poll /stats, and
-// watch the paper's instability metric over a population instead of five
-// lab phones.
+// experiment binaries — and, with -peers, the front of a distributed fleet:
+// a coordinator splits each run's device range across peer instances and
+// serves the merged stats, byte-identical to a single-instance run.
 //
-// Devices carry their own inference runtime (float32 reference, int8
-// quantized, magnitude-pruned — see internal/nn), so /stats breaks
-// instability down per backend and reports the cross-runtime component: the
-// flips only the runtime stack can explain.
+// The service logic lives in internal/fleetd; this binary adds flags,
+// model bootstrap and graceful shutdown. The HTTP surface is the versioned
+// /v1 resource API plus legacy adapters:
 //
-// Endpoints:
+//	GET    /healthz              liveness + model info
+//	POST   /v1/runs              create an async run resource (JSON RunSpec)
+//	GET    /v1/runs              list remembered runs
+//	GET    /v1/runs/{id}         one run's status
+//	DELETE /v1/runs/{id}         cancel an in-flight run / evict a finished one
+//	GET    /v1/runs/{id}/stats   stats snapshot (deterministic once done)
+//	GET    /v1/runs/{id}/stream  NDJSON snapshots until completion
+//	POST   /v1/shards            execute one device-range shard, return its state
+//	POST   /run                  legacy: create from query params (stream=1 to hold)
+//	GET    /stats /runs /runs/{id}  legacy reads
 //
-//	GET /healthz        liveness + model info
-//	POST /run           start a fleet run (query: devices, items, seed,
-//	                    topk, scale, workers, angles=0,2,4, runtime=
-//	                    float32|int8|pruned to force one backend fleet-wide);
-//	                    add stream=1 to hold the connection and receive
-//	                    NDJSON snapshots until the run completes
-//	GET /stats          latest stats snapshot (deterministic JSON once the
-//	                    run finishes: one seed → identical bytes at any
-//	                    worker count), including by_runtime/cross_runtime
-//	GET /runs           history of the last -history runs (id, config,
-//	                    headline numbers), oldest first
-//	GET /runs/{id}      full stats of one remembered run; finished runs
-//	                    serve the exact bytes captured at completion
+// Example (one worker, one coordinator):
 //
-// Example:
+//	fleetd -addr :8471 -train-items 150 -epochs 4 -model /tmp/base.model &
+//	fleetd -addr :8470 -model /tmp/base.model -peers localhost:8471 &
+//	curl -X POST localhost:8470/v1/runs -d '{"devices":1000,"items":8,"seed":7}'
+//	curl localhost:8470/v1/runs/0/stats
 //
-//	fleetd -train-items 150 -epochs 4 &
-//	curl -X POST 'localhost:8470/run?devices=1000&items=8&seed=7&stream=1'
-//	curl localhost:8470/stats
-//	curl localhost:8470/runs
+// On SIGINT/SIGTERM the server cancels in-flight runs and shards, lets
+// streams drain, and shuts the listener down cleanly.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strconv"
+	"os/signal"
 	"strings"
-	"sync"
+	"syscall"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/fleet"
+	"repro/internal/fleetd"
 	"repro/internal/lab"
 	"repro/internal/nn"
 )
-
-// runEntry is one remembered fleet run. Once the run finishes, final holds
-// the deterministic snapshot bytes (and its pre-built summary) so history
-// replies never recompute — or drift from — what the live endpoints served,
-// and the runner itself (worker backend replicas, scene caches, slots) is
-// released: a history ring full of finished runs costs only their JSON.
-type runEntry struct {
-	id int
-
-	mu           sync.Mutex
-	runner       *fleet.Runner // nil once final is set
-	final        []byte        // final Stats JSON, set exactly once on completion
-	finalSummary *runSummary
-}
-
-// setFinal records the finished run's stats and summary and drops the
-// runner so its caches and replicas can be collected.
-func (e *runEntry) setFinal(st fleet.Stats) {
-	sum := summarize(e.id, st, true)
-	e.mu.Lock()
-	e.final = st.JSON()
-	e.finalSummary = &sum
-	e.runner = nil
-	e.mu.Unlock()
-}
-
-// snapshot returns the final bytes and nil, or nil and the live runner:
-// exactly one is non-nil (setFinal flips both under the lock).
-func (e *runEntry) snapshot() ([]byte, *fleet.Runner) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.final, e.runner
-}
-
-// statsJSON returns the final bytes when the run is done, or a live
-// snapshot while it is in flight.
-func (e *runEntry) statsJSON() []byte {
-	final, runner := e.snapshot()
-	if final != nil {
-		return final
-	}
-	return runner.Stats().JSON()
-}
-
-// summary returns the cached final summary, or one computed from a live
-// snapshot while the run is in flight.
-func (e *runEntry) summary() runSummary {
-	e.mu.Lock()
-	s, runner := e.finalSummary, e.runner
-	e.mu.Unlock()
-	if s != nil {
-		return *s
-	}
-	return summarize(e.id, runner.Stats(), false)
-}
-
-func (e *runEntry) finished() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.final != nil
-}
-
-// server owns the trained model, at most one in-flight fleet run, and the
-// run history ring.
-type server struct {
-	factory fleet.BackendFactory
-	params  int
-	history int
-
-	mu     sync.Mutex
-	latest *runEntry
-	runs   []*runEntry // ring of the last history runs, oldest first
-	nextID int
-}
 
 func main() {
 	addr := flag.String("addr", ":8470", "listen address")
@@ -133,10 +56,11 @@ func main() {
 	epochs := flag.Int("epochs", 6, "base-model training epochs")
 	seed := flag.Int64("train-seed", 7, "base-model training seed")
 	history := flag.Int("history", 32, "finished runs kept for GET /runs")
+	peers := flag.String("peers", "", "comma-separated peer instances; when set, runs are split across them as device-range shards")
 	flag.Parse()
 	log.SetFlags(0)
 	if *history < 1 {
-		*history = 1 // the ring-trim slice below assumes a positive capacity
+		*history = 1 // explicit 0 keeps only the latest run, as it always has
 	}
 
 	cfg := lab.DefaultBaseModel()
@@ -145,276 +69,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{
-		factory: fleet.BackendReplicator(cfg.Arch, model),
-		params:  model.NumParams(),
-		history: *history,
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
 	}
-
-	log.Printf("fleetd listening on %s (model: %d params, runtimes: %v)", *addr, s.params, nn.Runtimes())
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
-}
-
-// mux wires the endpoints; split out so tests can drive the server without
-// a listener.
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/runs", s.handleRuns)
-	mux.HandleFunc("/runs/", s.handleRunByID)
-	return mux
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
-		"model_params": s.params,
-		"runtimes":     nn.Runtimes(),
+	s := fleetd.New(fleetd.Options{
+		Factory:     fleet.BackendReplicator(cfg.Arch, model),
+		ModelParams: model.NumParams(),
+		History:     *history,
+		Peers:       peerList,
+		Logf:        log.Printf,
 	})
-}
 
-// handleRun starts a fleet run. Only one run may be in flight.
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "use POST", http.StatusMethodNotAllowed)
-		return
-	}
-	cfg, err := parseConfig(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return
-	}
-
-	s.mu.Lock()
-	// In flight = the latest run's devices are not all done. Checking the
-	// runner directly (rather than finished()) avoids a spurious 409 in
-	// the instant between run completion and the goroutine recording it.
-	if s.latest != nil {
-		if _, latestRunner := s.latest.snapshot(); latestRunner != nil {
-			if done, total, _ := latestRunner.Progress(); done < total {
-				s.mu.Unlock()
-				writeJSON(w, http.StatusConflict, map[string]any{"error": "a fleet run is already in flight"})
-				return
-			}
-		}
-	}
-	runner := fleet.NewRunner(cfg, s.factory)
-	entry := &runEntry{id: s.nextID, runner: runner}
-	s.nextID++
-	s.latest = entry
-	s.runs = append(s.runs, entry)
-	if len(s.runs) > s.history {
-		s.runs = s.runs[len(s.runs)-s.history:]
-	}
-	s.mu.Unlock()
-
-	// The completion goroutine nils entry.runner; this handler keeps its
-	// own reference for streaming.
-	done := runner.Start()
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
-		<-done
-		entry.setFinal(runner.Stats())
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("fleetd shutting down: cancelling in-flight runs")
+		// Cancelling runs makes their streams and shard requests drain, so
+		// Shutdown's wait for active handlers terminates.
+		s.CancelRuns()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("fleetd shutdown: %v", err)
+		}
 	}()
-	log.Printf("run %d started: devices=%d items=%d seed=%d runtime=%q",
-		entry.id, runner.Config().Devices, runner.Config().Items,
-		runner.Config().Seed, runner.Config().Runtime)
 
-	if r.URL.Query().Get("stream") != "1" {
-		writeJSON(w, http.StatusAccepted, map[string]any{"started": true, "id": entry.id, "config": runner.Config()})
-		return
+	mode := "worker"
+	if s.Coordinator() {
+		mode = "coordinator"
 	}
-
-	// Streaming mode: NDJSON snapshots while the run is in flight, then
-	// the final deterministic snapshot.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	ticker := time.NewTicker(500 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			w.Write(append(runner.Stats().JSON(), '\n'))
-			if flusher != nil {
-				flusher.Flush()
-			}
-		case <-done:
-			w.Write(append(runner.Stats().JSON(), '\n'))
-			if flusher != nil {
-				flusher.Flush()
-			}
-			_, _, captures := runner.Progress()
-			log.Printf("run %d finished: %d captures", entry.id, captures)
-			return
-		case <-r.Context().Done():
-			return // client went away; the run keeps going
-		}
+	log.Printf("fleetd listening on %s (%s, model: %d params, runtimes: %v, peers: %d)",
+		*addr, mode, model.NumParams(), nn.Runtimes(), len(peerList))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
 	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	entry := s.latest
-	s.mu.Unlock()
-	if entry == nil {
-		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no fleet run yet; POST /run first"})
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(entry.statsJSON())
-}
-
-// runSummary is one GET /runs row.
-type runSummary struct {
-	ID          int          `json:"id"`
-	Config      fleet.Config `json:"config"`
-	Done        bool         `json:"done"`
-	DevicesDone int          `json:"devices_done"`
-	Records     int          `json:"records"`
-	Accuracy    float64      `json:"accuracy"`
-	Top1Percent float64      `json:"top1_percent"`
-}
-
-// summarize extracts the GET /runs row from a stats snapshot.
-func summarize(id int, st fleet.Stats, done bool) runSummary {
-	return runSummary{
-		ID:          id,
-		Config:      st.Config,
-		Done:        done,
-		DevicesDone: st.DevicesDone,
-		Records:     st.Records,
-		Accuracy:    st.Accuracy,
-		Top1Percent: st.Top1.Percent,
-	}
-}
-
-func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "use GET", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.Lock()
-	entries := append([]*runEntry(nil), s.runs...)
-	s.mu.Unlock()
-	out := make([]runSummary, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, e.summary())
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
-}
-
-func (s *server) handleRunByID(w http.ResponseWriter, r *http.Request) {
-	idStr := strings.TrimPrefix(r.URL.Path, "/runs/")
-	id, err := strconv.Atoi(idStr)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad run id %q", idStr)})
-		return
-	}
-	s.mu.Lock()
-	var entry *runEntry
-	for _, e := range s.runs {
-		if e.id == id {
-			entry = e
-			break
-		}
-	}
-	s.mu.Unlock()
-	if entry == nil {
-		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("run %d not in history", id)})
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(entry.statsJSON())
-}
-
-// parseConfig reads fleet.Config fields from query parameters.
-func parseConfig(r *http.Request) (fleet.Config, error) {
-	q := r.URL.Query()
-	var cfg fleet.Config
-	intParam := func(name string, dst *int) error {
-		if v := q.Get(name); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return fmt.Errorf("bad %s: %v", name, err)
-			}
-			*dst = n
-		}
-		return nil
-	}
-	for name, dst := range map[string]*int{
-		"devices": &cfg.Devices,
-		"items":   &cfg.Items,
-		"topk":    &cfg.TopK,
-		"scale":   &cfg.Scale,
-		"workers": &cfg.Workers,
-	} {
-		if err := intParam(name, dst); err != nil {
-			return cfg, err
-		}
-	}
-	if v := q.Get("seed"); v != "" {
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return cfg, fmt.Errorf("bad seed: %v", err)
-		}
-		cfg.Seed = n
-	}
-	if v := q.Get("runtime"); v != "" {
-		if !nn.ValidRuntime(v) {
-			return cfg, fmt.Errorf("bad runtime %q (want one of %v)", v, nn.Runtimes())
-		}
-		cfg.Runtime = v
-	}
-	if v := q.Get("angles"); v != "" {
-		seen := map[int]bool{}
-		for _, part := range strings.Split(v, ",") {
-			a, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || a < 0 || a >= dataset.NumAngles {
-				return cfg, fmt.Errorf("bad angle %q (want 0..%d)", part, dataset.NumAngles-1)
-			}
-			if seen[a] {
-				return cfg, fmt.Errorf("duplicate angle %d", a)
-			}
-			seen[a] = true
-			cfg.Angles = append(cfg.Angles, a)
-		}
-	}
-	// Caps keep one request from exhausting the host: devices bounds the
-	// run length, items bounds the synchronous dataset generation in
-	// NewRunner, workers bounds goroutines and per-worker backend replicas.
-	for _, lim := range []struct {
-		name string
-		val  int
-		max  int
-	}{
-		{"devices", cfg.Devices, 1_000_000},
-		{"items", cfg.Items, 100_000},
-		{"workers", cfg.Workers, 1024},
-		{"scale", cfg.Scale, dataset.SceneSize / 8},
-		{"topk", cfg.TopK, int(dataset.NumClasses)},
-	} {
-		if lim.val > lim.max {
-			return cfg, fmt.Errorf("%s=%d exceeds the cap of %d", lim.name, lim.val, lim.max)
-		}
-	}
-	// The per-field caps do not compose: a run at several individual caps
-	// at once would take hours and the stability accumulator holds
-	// per-capture cell state (the cross-runtime attribution), so bound the
-	// total cell count to keep one request from wedging the
-	// single-run-at-a-time server or exhausting its memory.
-	const maxCaptures = 2_000_000
-	if captures := cfg.Captures(); captures > maxCaptures {
-		return cfg, fmt.Errorf("devices×items×angles = %d captures exceeds the cap of %d", captures, maxCaptures)
-	}
-	return cfg, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// ListenAndServe returns as soon as Shutdown closes the listener;
+	// in-flight handlers (streams, shard replies) are still draining until
+	// the Shutdown call itself returns.
+	<-shutdownDone
+	log.Printf("fleetd stopped")
 }

@@ -35,6 +35,16 @@ type Config struct {
 	// runtime (one of nn.Runtimes()), overriding the per-device assignment
 	// synthesized into the profiles. Empty runs the mixed fleet.
 	Runtime string `json:"runtime,omitempty"`
+	// DeviceLo and DeviceHi bound the device-id range [DeviceLo, DeviceHi)
+	// this runner executes (defaults 0..Devices). Device i's profile and
+	// runtime depend only on (Seed, i), so a range shard computes exactly
+	// the rows the full run would — the substrate distributed fleetd shards
+	// stand on. Like Workers, the range describes placement, not the
+	// experiment: it is excluded from Stats JSON so a shard's stats carry
+	// the full run's config and merged shards stay byte-identical to a
+	// single-instance run.
+	DeviceLo int `json:"-"`
+	DeviceHi int `json:"-"`
 	// Workers is the pool concurrency (default GOMAXPROCS). It never
 	// affects results, only wall time; it is excluded from Stats for that
 	// reason.
@@ -47,15 +57,27 @@ type Config struct {
 }
 
 // Captures returns the total capture-cell count of the run this (possibly
-// zero-valued) config describes, after defaulting: devices × items ×
+// zero-valued) config describes, after defaulting: range devices × items ×
 // angles. Admission control sizes requests with this instead of
-// re-deriving the defaults by hand.
+// re-deriving the defaults by hand; for a range shard it counts only the
+// shard's own devices.
 func (c Config) Captures() int {
-	c = c.withDefaults()
-	return c.Devices * c.Items * len(c.Angles)
+	c = c.WithDefaults()
+	return c.rangeSize() * c.Items * len(c.Angles)
 }
 
-func (c Config) withDefaults() Config {
+// rangeSize is the device count of the (defaulted) range.
+func (c Config) rangeSize() int {
+	if n := c.DeviceHi - c.DeviceLo; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// WithDefaults returns the config with every zero-valued field replaced by
+// its default — the exact config a Runner built from c would report. The
+// device range is clamped into [0, Devices].
+func (c Config) WithDefaults() Config {
 	if c.Devices <= 0 {
 		c.Devices = 100
 	}
@@ -73,6 +95,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
+	}
+	if c.DeviceLo < 0 {
+		c.DeviceLo = 0
+	}
+	if c.DeviceHi <= 0 || c.DeviceHi > c.Devices {
+		c.DeviceHi = c.Devices
+	}
+	if c.DeviceLo > c.DeviceHi {
+		c.DeviceLo = c.DeviceHi
 	}
 	return c
 }
@@ -109,10 +140,12 @@ type Runner struct {
 
 	acc        *stability.Accumulator
 	cohortAccs map[string]*stability.Accumulator
-	slots      []*deviceSlot
+	// slots[i] belongs to device cfg.DeviceLo+i.
+	slots []*deviceSlot
 
 	devicesDone  atomic.Int64
 	capturesDone atomic.Int64
+	cancelled    atomic.Bool
 
 	startOnce sync.Once
 	done      chan struct{}
@@ -120,7 +153,7 @@ type Runner struct {
 
 // NewRunner prepares a run; no work happens until Start or Run.
 func NewRunner(cfg Config, factory BackendFactory) *Runner {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	gen := NewGenerator(cfg.Seed, cfg.Scale, cfg.DeviceCache)
 	pool := NewPool(cfg.Workers)
 	r := &Runner{
@@ -129,11 +162,11 @@ func NewRunner(cfg Config, factory BackendFactory) *Runner {
 		gen:        gen,
 		engine:     NewEngine(cfg.Seed, cfg.Scale, cfg.SceneCache),
 		pool:       pool,
-		backends:   make([]*LRU[string, nn.Backend], pool.WorkersFor(cfg.Devices)),
+		backends:   make([]*LRU[string, nn.Backend], pool.WorkersFor(cfg.rangeSize())),
 		items:      dataset.GenerateHard(cfg.Items, mix(cfg.Seed, 3)).Items,
 		acc:        stability.NewAccumulator(),
 		cohortAccs: map[string]*stability.Accumulator{},
-		slots:      make([]*deviceSlot, cfg.Devices),
+		slots:      make([]*deviceSlot, cfg.rangeSize()),
 		done:       make(chan struct{}),
 	}
 	for _, cohort := range gen.Cohorts() {
@@ -151,11 +184,22 @@ func (r *Runner) Start() <-chan struct{} {
 	r.startOnce.Do(func() {
 		go func() {
 			defer close(r.done)
-			r.pool.RunWorker(r.cfg.Devices, r.runDevice)
+			r.pool.RunWorker(r.cfg.rangeSize(), func(worker, i int) {
+				r.runDevice(worker, r.cfg.DeviceLo+i)
+			})
 		}()
 	})
 	return r.done
 }
+
+// Cancel asks the run to stop: devices not yet started are skipped (their
+// slots never complete), and the done channel still closes once in-flight
+// devices drain. After a cancelled run, Progress reports done < total and
+// Stats is a valid partial snapshot. Safe to call at any time, repeatedly.
+func (r *Runner) Cancel() { r.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called.
+func (r *Runner) Cancelled() bool { return r.cancelled.Load() }
 
 // Run executes the fleet synchronously and returns the final stats.
 func (r *Runner) Run() Stats {
@@ -163,9 +207,10 @@ func (r *Runner) Run() Stats {
 	return r.Stats()
 }
 
-// Progress reports devices completed, total devices, and captures taken.
+// Progress reports devices completed, total devices in this runner's range,
+// and captures taken.
 func (r *Runner) Progress() (done, total, captures int) {
-	return int(r.devicesDone.Load()), r.cfg.Devices, int(r.capturesDone.Load())
+	return int(r.devicesDone.Load()), r.cfg.rangeSize(), int(r.capturesDone.Load())
 }
 
 // AccumulatorState serializes the run's stability accumulator in the wire
@@ -192,6 +237,9 @@ func (r *Runner) runtimeFor(d *Device) string {
 
 // runDevice simulates one fleet member end-to-end on one worker.
 func (r *Runner) runDevice(worker, id int) {
+	if r.cancelled.Load() {
+		return
+	}
 	d := r.gen.Device(id)
 	runtime := r.runtimeFor(d)
 	cache := r.backends[worker]
@@ -216,7 +264,7 @@ func (r *Runner) runDevice(worker, id int) {
 	preds, scores, probs := train.Evaluate(backend, images, r.cfg.BatchSize)
 	topks := train.TopKOf(probs, r.cfg.TopK)
 
-	slot := r.slots[id]
+	slot := r.slots[id-r.cfg.DeviceLo]
 	slot.cohort = d.Cohort
 	slot.runtime = runtime
 	records := make([]*stability.Record, len(images))

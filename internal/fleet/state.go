@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/stability"
+)
+
+// RunState is the portable final state of one Runner — the payload a
+// device-range shard ships its coordinator. It carries everything needed to
+// reconstruct the exact Stats a single-instance run would have produced:
+// the stability accumulator (integer counters, order-independent), the
+// per-cohort accumulators, and per-device value summaries with their exact
+// Welford state, so the coordinator can replay the same device-ID-ordered
+// float merges a single process would run. Shards of one fleet, merged with
+// MergedStats, are byte-identical to the unsharded run.
+type RunState struct {
+	Version int `json:"version"`
+	// DeviceLo and DeviceHi are the device-id range this state covers.
+	DeviceLo int `json:"device_lo"`
+	DeviceHi int `json:"device_hi"`
+	// Captures is the shard's capture count (its contribution to the full
+	// run's Captures total).
+	Captures int `json:"captures"`
+	// Accumulator is the stability wire state
+	// (stability.(*Accumulator).MarshalState).
+	Accumulator json.RawMessage `json:"accumulator"`
+	// Cohorts holds one accumulator state per fleet cohort, including
+	// cohorts this shard's range never touched (their states are empty).
+	Cohorts []CohortState `json:"cohorts"`
+	// Devices lists the shard's finished devices in ascending ID order.
+	Devices []DeviceState `json:"devices"`
+}
+
+// CohortState is one cohort's stability accumulator state.
+type CohortState struct {
+	Cohort      string          `json:"cohort"`
+	Accumulator json.RawMessage `json:"accumulator"`
+}
+
+// DeviceState is one finished device's aggregates.
+type DeviceState struct {
+	ID      int                 `json:"id"`
+	Cohort  string              `json:"cohort"`
+	Runtime string              `json:"runtime"`
+	Score   metrics.OnlineState `json:"score"`
+	Bytes   metrics.OnlineState `json:"bytes"`
+}
+
+const runStateVersion = 1
+
+// RunState exports the runner's state for coordinator-side merging. Call it
+// after the run completes (or after cancellation — only finished devices
+// are included).
+func (r *Runner) RunState() (*RunState, error) {
+	accState, err := r.acc.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	st := &RunState{
+		Version:     runStateVersion,
+		DeviceLo:    r.cfg.DeviceLo,
+		DeviceHi:    r.cfg.DeviceHi,
+		Captures:    int(r.capturesDone.Load()),
+		Accumulator: accState,
+	}
+	cohorts := r.gen.Cohorts()
+	sort.Strings(cohorts)
+	for _, cohort := range cohorts {
+		cs, err := r.cohortAccs[cohort].MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.Cohorts = append(st.Cohorts, CohortState{Cohort: cohort, Accumulator: cs})
+	}
+	for i, slot := range r.slots {
+		if !slot.done.Load() {
+			continue
+		}
+		st.Devices = append(st.Devices, DeviceState{
+			ID:      r.cfg.DeviceLo + i,
+			Cohort:  slot.cohort,
+			Runtime: slot.runtime,
+			Score:   slot.score.State(),
+			Bytes:   slot.bytes.State(),
+		})
+	}
+	return st, nil
+}
+
+// MarshalRunState is RunState serialized to JSON.
+func (r *Runner) MarshalRunState() ([]byte, error) {
+	st, err := r.RunState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalRunState parses bytes produced by MarshalRunState.
+func UnmarshalRunState(data []byte) (*RunState, error) {
+	var st RunState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("fleet: run state: %w", err)
+	}
+	if st.Version != runStateVersion {
+		return nil, fmt.Errorf("fleet: run state version %d, want %d", st.Version, runStateVersion)
+	}
+	return &st, nil
+}
+
+// MergedStats reconstructs the full run's Stats from shard states. For a
+// complete, non-overlapping set of shards of cfg's device range, the result
+// is byte-identical (as JSON) to the Stats of a single Runner executing the
+// whole run; with a partial set it is the same kind of valid snapshot an
+// in-flight runner serves. Shards whose device sets overlap are rejected.
+func MergedStats(cfg Config, states ...*RunState) (Stats, error) {
+	cfg = cfg.WithDefaults()
+	acc := stability.NewAccumulator()
+	cohortAccs := map[string]*stability.Accumulator{}
+	var devices []DeviceState
+	captures := 0
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		if err := acc.UnmarshalState(st.Accumulator); err != nil {
+			return Stats{}, err
+		}
+		for _, cs := range st.Cohorts {
+			ca := cohortAccs[cs.Cohort]
+			if ca == nil {
+				ca = stability.NewAccumulator()
+				cohortAccs[cs.Cohort] = ca
+			}
+			if err := ca.UnmarshalState(cs.Accumulator); err != nil {
+				return Stats{}, err
+			}
+		}
+		captures += st.Captures
+		devices = append(devices, st.Devices...)
+	}
+	// Device-ID order is the float accumulation order of a single-instance
+	// run; shard arrival order must not leak into the merged stats.
+	sort.Slice(devices, func(i, j int) bool { return devices[i].ID < devices[j].ID })
+	slots := make([]slotView, len(devices))
+	for i, d := range devices {
+		if i > 0 && devices[i-1].ID == d.ID {
+			return Stats{}, fmt.Errorf("fleet: merged shards overlap at device %d", d.ID)
+		}
+		slots[i] = slotView{cohort: d.Cohort, runtime: d.Runtime, score: metrics.FromState(d.Score), bytes: metrics.FromState(d.Bytes)}
+	}
+	cohorts := NewGenerator(cfg.Seed, cfg.Scale, 1).Cohorts()
+	return renderStats(cfg, len(devices), captures, acc, cohortAccs, cohorts, slots), nil
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardedRunMatchesSingle is the distributed-shard property at the
+// fleet layer: split one run's device range into shards, execute each with
+// its own Runner, merge the shipped states — the merged Stats JSON must be
+// byte-identical to a single runner executing the whole range.
+func TestShardedRunMatchesSingle(t *testing.T) {
+	cfg := Config{Devices: 30, Items: 2, Angles: []int{0, 2}, Seed: 19, TopK: 3, Workers: 4}
+	full := NewRunner(cfg, testFactory()).Run().JSON()
+
+	for _, cuts := range [][2]int{{11, 30}, {1, 29}, {15, 15}} {
+		var states []*RunState
+		for _, rng := range [][2]int{{0, cuts[0]}, {cuts[0], cuts[1]}, {cuts[1], 30}} {
+			shardCfg := cfg
+			shardCfg.DeviceLo, shardCfg.DeviceHi = rng[0], rng[1]
+			r := NewRunner(shardCfg, testFactory())
+			r.Run()
+			data, err := r.MarshalRunState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := UnmarshalRunState(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.DeviceLo != rng[0] || st.DeviceHi != rng[1] {
+				t.Fatalf("state range %d..%d, want %d..%d", st.DeviceLo, st.DeviceHi, rng[0], rng[1])
+			}
+			states = append(states, st)
+		}
+		merged, err := MergedStats(cfg, states...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := merged.JSON(); !bytes.Equal(got, full) {
+			t.Fatalf("cuts %v: merged stats diverged from single run:\n%s\nvs\n%s", cuts, got, full)
+		}
+	}
+}
+
+// TestShardRunnerRangeScoping checks a range shard computes exactly its own
+// rows: record counts scale with the range, device IDs line up with the
+// full fleet's, and an empty range is a no-op run.
+func TestShardRunnerRangeScoping(t *testing.T) {
+	cfg := Config{Devices: 20, Items: 1, Angles: []int{1}, Seed: 7, Workers: 2, DeviceLo: 5, DeviceHi: 12}
+	r := NewRunner(cfg, testFactory())
+	s := r.Run()
+	if done, total, _ := r.Progress(); done != 7 || total != 7 {
+		t.Fatalf("progress %d/%d, want 7/7", done, total)
+	}
+	if s.DevicesDone != 7 || s.Records != 7 {
+		t.Fatalf("shard stats devices=%d records=%d, want 7/7", s.DevicesDone, s.Records)
+	}
+	if s.Config.Devices != 20 {
+		t.Fatalf("shard stats config devices %d, want the full fleet's 20", s.Config.Devices)
+	}
+	st, err := r.RunState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Devices) != 7 || st.Devices[0].ID != 5 || st.Devices[6].ID != 11 {
+		t.Fatalf("shard device ids %+v", st.Devices)
+	}
+
+	empty := NewRunner(Config{Devices: 20, Items: 1, Angles: []int{1}, Seed: 7, DeviceLo: 4, DeviceHi: 4}, testFactory())
+	if s := empty.Run(); s.DevicesDone != 0 || s.Records != 0 {
+		t.Fatalf("empty range ran devices: %+v", s)
+	}
+}
+
+// TestConfigRangeDefaults pins WithDefaults' range handling: zero range
+// spans the fleet, out-of-bounds ranges clamp.
+func TestConfigRangeDefaults(t *testing.T) {
+	c := Config{Devices: 50}.WithDefaults()
+	if c.DeviceLo != 0 || c.DeviceHi != 50 {
+		t.Fatalf("default range %d..%d, want 0..50", c.DeviceLo, c.DeviceHi)
+	}
+	c = Config{Devices: 50, DeviceLo: -3, DeviceHi: 80}.WithDefaults()
+	if c.DeviceLo != 0 || c.DeviceHi != 50 {
+		t.Fatalf("clamped range %d..%d, want 0..50", c.DeviceLo, c.DeviceHi)
+	}
+	if got := (Config{Devices: 50, DeviceLo: 10, DeviceHi: 20, Items: 2, Angles: []int{0}}).Captures(); got != 20 {
+		t.Fatalf("range captures %d, want 20", got)
+	}
+}
+
+// TestMergedStatsRejectsOverlap guards the coordinator against double
+// counting a device.
+func TestMergedStatsRejectsOverlap(t *testing.T) {
+	cfg := Config{Devices: 10, Items: 1, Angles: []int{0}, Seed: 3, Workers: 2}
+	shard := func(lo, hi int) *RunState {
+		c := cfg
+		c.DeviceLo, c.DeviceHi = lo, hi
+		r := NewRunner(c, testFactory())
+		r.Run()
+		st, err := r.RunState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if _, err := MergedStats(cfg, shard(0, 6), shard(5, 10)); err == nil {
+		t.Fatal("overlapping shards accepted")
+	}
+}
+
+// TestRunnerCancel checks cancellation semantics: a cancelled run still
+// closes its done channel, skips unstarted devices, and serves a valid
+// partial snapshot.
+func TestRunnerCancel(t *testing.T) {
+	cfg := Config{Devices: 40, Items: 1, Angles: []int{0}, Seed: 13, Workers: 1}
+	r := NewRunner(cfg, testFactory())
+	r.Cancel() // before Start: every device is skipped
+	s := r.Run()
+	if !r.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	if done, total, _ := r.Progress(); done != 0 || total != 40 {
+		t.Fatalf("cancelled progress %d/%d, want 0/40", done, total)
+	}
+	if s.DevicesDone != 0 || s.Records != 0 {
+		t.Fatalf("cancelled run produced records: %+v", s)
+	}
+	if _, err := r.RunState(); err != nil {
+		t.Fatalf("cancelled run state: %v", err)
+	}
+}

@@ -100,14 +100,28 @@ func (s Stats) JSON() []byte {
 	return b
 }
 
-// Stats snapshots the run's aggregates. Safe to call while the run is in
-// flight; after completion the result is final and deterministic.
-func (r *Runner) Stats() Stats {
-	snap := r.acc.Snapshot()
+// slotView is one finished device's contribution to the run-level
+// aggregates: its cohort and runtime membership plus its streaming value
+// summaries. Live runners build views from their slots; MergedStats builds
+// them from shard-shipped DeviceStates.
+type slotView struct {
+	cohort, runtime string
+	score, bytes    metrics.Online
+}
+
+// renderStats assembles a Stats snapshot from a run's parts. It is the
+// single rendering path for live runner snapshots and coordinator-merged
+// shard states, which is what makes the two byte-identical: callers must
+// pass slot views in ascending device-ID order (float accumulation order
+// must never depend on scheduling or shard arrival), and cohorts lists
+// every cohort of the fleet, rendered even when empty.
+func renderStats(cfg Config, devicesDone, captures int, acc *stability.Accumulator,
+	cohortAccs map[string]*stability.Accumulator, cohorts []string, slots []slotView) Stats {
+	snap := acc.Snapshot()
 	s := Stats{
-		Config:       r.cfg,
-		DevicesDone:  int(r.devicesDone.Load()),
-		Captures:     int(r.capturesDone.Load()),
+		Config:       cfg,
+		DevicesDone:  devicesDone,
+		Captures:     captures,
 		Records:      snap.Records,
 		Accuracy:     snap.Accuracy,
 		TopKAccuracy: snap.TopKAccuracy,
@@ -126,15 +140,10 @@ func (r *Runner) Stats() Stats {
 
 	s.CrossRuntime = instability(snap.CrossRuntime)
 
-	// Per-device aggregates merge in device-ID order so float accumulation
-	// never depends on completion order; only finished slots contribute.
 	var score, bytes metrics.Online
 	cohortDevices := map[string]int{}
 	runtimeDevices := map[string]int{}
-	for _, slot := range r.slots {
-		if !slot.done.Load() {
-			continue
-		}
+	for _, slot := range slots {
 		score.Merge(slot.score)
 		bytes.Merge(slot.bytes)
 		cohortDevices[slot.cohort]++
@@ -154,10 +163,13 @@ func (r *Runner) Stats() Stats {
 		})
 	}
 
-	cohorts := r.gen.Cohorts()
-	sort.Strings(cohorts)
-	for _, cohort := range cohorts {
-		cs := r.cohortAccs[cohort].Snapshot()
+	sorted := append([]string(nil), cohorts...)
+	sort.Strings(sorted)
+	for _, cohort := range sorted {
+		var cs stability.AccumulatorSnapshot
+		if acc := cohortAccs[cohort]; acc != nil {
+			cs = acc.Snapshot()
+		}
 		s.ByCohort = append(s.ByCohort, CohortStats{
 			Cohort:       cohort,
 			Devices:      cohortDevices[cohort],
@@ -168,4 +180,20 @@ func (r *Runner) Stats() Stats {
 		})
 	}
 	return s
+}
+
+// Stats snapshots the run's aggregates. Safe to call while the run is in
+// flight; after completion the result is final and deterministic.
+func (r *Runner) Stats() Stats {
+	// Slot views assemble in device-ID order; only finished slots
+	// contribute.
+	slots := make([]slotView, 0, len(r.slots))
+	for _, slot := range r.slots {
+		if !slot.done.Load() {
+			continue
+		}
+		slots = append(slots, slotView{cohort: slot.cohort, runtime: slot.runtime, score: slot.score, bytes: slot.bytes})
+	}
+	return renderStats(r.cfg, int(r.devicesDone.Load()), int(r.capturesDone.Load()),
+		r.acc, r.cohortAccs, r.gen.Cohorts(), slots)
 }

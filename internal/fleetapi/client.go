@@ -1,0 +1,212 @@
+package fleetapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Client drives one fleetd instance's /v1 API. The zero HTTPClient uses
+// http.DefaultClient; pass a dedicated one to set timeouts or transports.
+// Shard execution and stats streaming are long-lived requests, so per-call
+// deadlines belong in the context, not the HTTP client.
+type Client struct {
+	// BaseURL is the instance root, e.g. "http://host:8470".
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL; a bare host:port gets
+// an http:// scheme.
+func NewClient(baseURL string) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request with a JSON body (nil for none) and returns the
+// response, translating non-2xx statuses into *Error.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, DecodeError(resp)
+	}
+	return resp, nil
+}
+
+// doJSON is do plus decoding the response body into out (skipped when nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// CreateRun starts an async run resource.
+func (c *Client) CreateRun(ctx context.Context, spec RunSpec) (RunStatus, error) {
+	var st RunStatus
+	err := c.doJSON(ctx, http.MethodPost, "/v1/runs", spec, &st)
+	return st, err
+}
+
+// GetRun fetches one run's status.
+func (c *Client) GetRun(ctx context.Context, id int) (RunStatus, error) {
+	var st RunStatus
+	err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("/v1/runs/%d", id), nil, &st)
+	return st, err
+}
+
+// ListRuns fetches the remembered runs, oldest first.
+func (c *Client) ListRuns(ctx context.Context) ([]RunStatus, error) {
+	var out struct {
+		Runs []RunStatus `json:"runs"`
+	}
+	err := c.doJSON(ctx, http.MethodGet, "/v1/runs", nil, &out)
+	return out.Runs, err
+}
+
+// RunStats fetches one run's stats snapshot as raw JSON — raw because the
+// bytes themselves are the deterministic artifact (a finished run's stats
+// are byte-identical across worker counts and shard topologies).
+func (c *Client) RunStats(ctx context.Context, id int) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/runs/%d/stats", id), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// DeleteRun cancels an in-flight run or evicts a finished one from history.
+func (c *Client) DeleteRun(ctx context.Context, id int) error {
+	return c.doJSON(ctx, http.MethodDelete, fmt.Sprintf("/v1/runs/%d", id), nil, nil)
+}
+
+// RunShard executes one device-range shard synchronously on the instance
+// and returns its run state for merging. This is the coordinator's worker
+// call; it blocks for the shard's whole execution, so bound it with the
+// context.
+func (c *Client) RunShard(ctx context.Context, spec ShardSpec) (*fleet.RunState, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/shards", spec)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.UnmarshalRunState(data)
+}
+
+// WaitRun polls until the run leaves StateRunning (or the context ends) and
+// returns its final status. Transient failures — dropped connections
+// between polls, 5xx replies from a proxy or restarting front end — are
+// retried, since the run is still executing server-side; only an
+// authoritative 4xx (e.g. a 404 for an evicted run) or the context ending
+// aborts the wait.
+func (c *Client) WaitRun(ctx context.Context, id int, poll time.Duration) (RunStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.GetRun(ctx, id)
+		var apiErr *Error
+		if err == nil {
+			if st.State != StateRunning {
+				return st, nil
+			}
+		} else if (errors.As(err, &apiErr) && authoritative4xx(apiErr.Status)) || ctx.Err() != nil {
+			return st, err
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// authoritative4xx reports whether a status is a client error that makes
+// further polling pointless. 408 and 429 are transient proxy/rate-limit
+// replies, not verdicts about the resource.
+func authoritative4xx(status int) bool {
+	return status >= 400 && status < 500 &&
+		status != http.StatusRequestTimeout && status != http.StatusTooManyRequests
+}
+
+// StreamStats follows a run's NDJSON stats stream, invoking fn per
+// snapshot line until the stream ends (run completion) or fn returns an
+// error. A failed run terminates its stream with an error-envelope line;
+// that line is returned as the *Error instead of being passed to fn, so
+// consumers can't mistake a failure for a snapshot.
+func (c *Client) StreamStats(ctx context.Context, id int, fn func(snapshot []byte) error) error {
+	resp, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/runs/%d/stream", id), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var env envelope
+		if err := json.Unmarshal(line, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+			env.Error.Status = statusForCode(env.Error.Code)
+			return env.Error
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

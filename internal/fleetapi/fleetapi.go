@@ -1,0 +1,324 @@
+// Package fleetapi defines the wire contract of fleetd's versioned /v1 API:
+// the resource specs and statuses, the JSON error envelope every endpoint
+// (v1 and legacy) speaks, the request-admission caps, and a Go client used
+// by the shard coordinator, tests and examples. Keeping the contract in one
+// package means a fleetd instance, its peers and its clients can never
+// drift on what a run or a shard is.
+package fleetapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/nn"
+)
+
+// Admission caps, shared by every instance: devices bounds a run's length,
+// items bounds the synchronous dataset generation at run creation, workers
+// bounds goroutines and per-worker backend replicas, and MaxCaptures bounds
+// the composite devices×items×angles cell count (the per-field caps do not
+// compose — a run at several caps at once would take hours and hold
+// per-capture accumulator state).
+const (
+	MaxDevices  = 1_000_000
+	MaxItems    = 100_000
+	MaxWorkers  = 1024
+	MaxScale    = dataset.SceneSize / 8
+	MaxTopK     = int(dataset.NumClasses)
+	MaxCaptures = 2_000_000
+)
+
+// RunSpec is the client-provided description of a fleet run — the body of
+// POST /v1/runs. Zero-valued fields select the fleet defaults.
+type RunSpec struct {
+	Devices int    `json:"devices,omitempty"`
+	Items   int    `json:"items,omitempty"`
+	Angles  []int  `json:"angles,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	TopK    int    `json:"topk,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+	Runtime string `json:"runtime,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// FleetConfig converts the spec into a fleet run configuration.
+func (s RunSpec) FleetConfig() fleet.Config {
+	return fleet.Config{
+		Devices: s.Devices,
+		Items:   s.Items,
+		Angles:  append([]int(nil), s.Angles...),
+		Seed:    s.Seed,
+		TopK:    s.TopK,
+		Scale:   s.Scale,
+		Runtime: s.Runtime,
+		Workers: s.Workers,
+	}
+}
+
+// Validate checks field ranges and the admission caps. The captures cap
+// applies to the whole run: a coordinator (or single instance) holds the
+// full merged accumulator state, so the bound is on what one process must
+// eventually materialize. Shards check their own range instead — see
+// ShardSpec.Validate.
+func (s RunSpec) Validate() error {
+	if err := s.validateFields(); err != nil {
+		return err
+	}
+	if captures := s.FleetConfig().Captures(); captures > MaxCaptures {
+		return fmt.Errorf("devices×items×angles = %d captures exceeds the cap of %d", captures, MaxCaptures)
+	}
+	return nil
+}
+
+// validateFields checks everything but the captures cap.
+func (s RunSpec) validateFields() error {
+	for _, lim := range []struct {
+		name string
+		val  int
+		max  int
+	}{
+		{"devices", s.Devices, MaxDevices},
+		{"items", s.Items, MaxItems},
+		{"workers", s.Workers, MaxWorkers},
+		{"scale", s.Scale, MaxScale},
+		{"topk", s.TopK, MaxTopK},
+	} {
+		if lim.val < 0 {
+			return fmt.Errorf("%s=%d is negative", lim.name, lim.val)
+		}
+		if lim.val > lim.max {
+			return fmt.Errorf("%s=%d exceeds the cap of %d", lim.name, lim.val, lim.max)
+		}
+	}
+	if s.Runtime != "" && !nn.ValidRuntime(s.Runtime) {
+		return fmt.Errorf("bad runtime %q (want one of %v)", s.Runtime, nn.Runtimes())
+	}
+	seen := map[int]bool{}
+	for _, a := range s.Angles {
+		if a < 0 || a >= dataset.NumAngles {
+			return fmt.Errorf("bad angle %d (want 0..%d)", a, dataset.NumAngles-1)
+		}
+		if seen[a] {
+			return fmt.Errorf("duplicate angle %d", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// SpecFromQuery parses a RunSpec from legacy query parameters (the /run
+// contract: devices, items, seed, topk, scale, workers, runtime,
+// angles=0,2,4). Unknown parameters are ignored, matching the legacy
+// endpoint's behavior.
+func SpecFromQuery(q url.Values) (RunSpec, error) {
+	var s RunSpec
+	for name, dst := range map[string]*int{
+		"devices": &s.Devices,
+		"items":   &s.Items,
+		"topk":    &s.TopK,
+		"scale":   &s.Scale,
+		"workers": &s.Workers,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return s, fmt.Errorf("bad %s: %v", name, err)
+			}
+			if n < 0 {
+				// The legacy contract accepted negatives as "use the
+				// default" (fleet.Config treats <=0 that way); only the
+				// stricter v1 JSON spec rejects them.
+				n = 0
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad seed: %v", err)
+		}
+		s.Seed = n
+	}
+	s.Runtime = q.Get("runtime")
+	if v := q.Get("angles"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			a, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return s, fmt.Errorf("bad angle %q (want 0..%d)", part, dataset.NumAngles-1)
+			}
+			s.Angles = append(s.Angles, a)
+		}
+	}
+	return s, nil
+}
+
+// ShardSpec asks an instance to execute one device-range shard [DeviceLo,
+// DeviceHi) of a run — the body of POST /v1/shards. The embedded RunSpec
+// must be the full run's spec, identical across every shard of one run;
+// only the range differs.
+type ShardSpec struct {
+	RunSpec
+	DeviceLo int `json:"device_lo"`
+	DeviceHi int `json:"device_hi"`
+}
+
+// FleetConfig converts the shard spec into a range-scoped fleet config.
+func (s ShardSpec) FleetConfig() fleet.Config {
+	cfg := s.RunSpec.FleetConfig()
+	cfg.DeviceLo, cfg.DeviceHi = s.DeviceLo, s.DeviceHi
+	return cfg
+}
+
+// Validate checks the run spec fields and requires a non-empty in-bounds
+// range: 0 ≤ lo < hi ≤ devices (after defaulting). The captures cap is
+// applied to the shard's own range, not the full run's — an instance only
+// materializes its shard. (The shipped coordinator still validates the
+// full RunSpec at run creation, since it merges every shard's state into
+// one accumulator; the per-shard cap serves external orchestrators that
+// fan out over /v1/shards and merge elsewhere.)
+func (s ShardSpec) Validate() error {
+	if err := s.RunSpec.validateFields(); err != nil {
+		return err
+	}
+	devices := s.RunSpec.FleetConfig().WithDefaults().Devices
+	if s.DeviceLo < 0 || s.DeviceLo >= s.DeviceHi || s.DeviceHi > devices {
+		return fmt.Errorf("bad device range %d..%d (want 0 <= lo < hi <= %d)", s.DeviceLo, s.DeviceHi, devices)
+	}
+	if captures := s.FleetConfig().Captures(); captures > MaxCaptures {
+		return fmt.Errorf("shard devices×items×angles = %d captures exceeds the cap of %d", captures, MaxCaptures)
+	}
+	return nil
+}
+
+// Run states.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateFailed    = "failed"
+)
+
+// RunStatus is the /v1 representation of a run resource.
+type RunStatus struct {
+	ID    int     `json:"id"`
+	State string  `json:"state"`
+	Spec  RunSpec `json:"spec"`
+	// Devices is the run's total device count (after defaulting);
+	// DevicesDone and Captures are progress so far.
+	Devices     int `json:"devices"`
+	DevicesDone int `json:"devices_done"`
+	Captures    int `json:"captures"`
+	// Shards is the peer fan-out of a coordinator-executed run (0 for
+	// local runs).
+	Shards int `json:"shards,omitempty"`
+	// Error carries the failure message of a failed run.
+	Error string `json:"error,omitempty"`
+}
+
+// Error is the JSON error envelope payload every fleetd endpoint returns:
+// {"error": {"code": ..., "message": ...}}. It implements error, so the
+// client surfaces server-side failures directly.
+type Error struct {
+	// Status is the HTTP status code (not serialized; the transport
+	// carries it).
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fleetd: %s (%s)", e.Message, e.Code)
+}
+
+// Error codes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeRunFailed        = "run_failed"
+	CodeInternal         = "internal"
+	CodeUnavailable      = "unavailable"
+)
+
+// envelope is the wire shape of an error response.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// statusForCode maps error codes to their HTTP status.
+func statusForCode(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds an *Error with the status implied by its code.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Status: statusForCode(code), Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WriteJSON writes v as a JSON response.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// MarshalEnvelope renders the error in the wire envelope shape — the one
+// source of truth for {"error": {...}} bytes outside a plain HTTP reply
+// (e.g. a failure line inside an NDJSON stream).
+func (e *Error) MarshalEnvelope() []byte {
+	b, err := json.Marshal(envelope{Error: e})
+	if err != nil { // struct of plain strings; cannot fail
+		panic(err)
+	}
+	return b
+}
+
+// WriteError writes the error envelope. Any non-*Error is wrapped as an
+// internal error, so handlers can pass failures through unexamined.
+func WriteError(w http.ResponseWriter, err error) {
+	var e *Error
+	if !errors.As(err, &e) {
+		e = &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+	}
+	WriteJSON(w, e.Status, envelope{Error: e})
+}
+
+// DecodeError turns a non-2xx response into an *Error: the parsed envelope
+// when the body is one, or a synthesized error carrying the raw body
+// otherwise (a proxy or panic page, say).
+func DecodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = resp.StatusCode
+		return env.Error
+	}
+	return &Error{
+		Status:  resp.StatusCode,
+		Code:    CodeInternal,
+		Message: fmt.Sprintf("unexpected response %d: %s", resp.StatusCode, strings.TrimSpace(string(body))),
+	}
+}

@@ -1,0 +1,135 @@
+package fleetd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+)
+
+// coordExec executes one run by splitting its device range into contiguous
+// shards, one per peer instance, collecting each shard's fleet.RunState and
+// merging them. Because device i's profile and runtime depend only on
+// (seed, i), and fleet.MergedStats replays the exact device-ID-ordered
+// aggregation a single process would run, the merged stats are
+// byte-identical to an unsharded run of the same spec.
+type coordExec struct {
+	spec   fleetapi.RunSpec
+	cfg    fleet.Config
+	peers  []*fleetapi.Client
+	shards []fleetapi.ShardSpec
+
+	ctx  context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	states []*fleet.RunState
+	// cached is the merged snapshot computed from the first cachedN
+	// states; states only ever append, so snapshot polling (streams tick
+	// twice a second) re-merges only when a new shard has landed.
+	cached  *fleet.Stats
+	cachedN int
+}
+
+// newCoordExec plans the shard split: the range [0, Devices) divided into
+// len(peers) near-equal contiguous chunks, skipping peers left empty when
+// the fleet is smaller than the peer set.
+func newCoordExec(spec fleetapi.RunSpec, cfg fleet.Config, peers []*fleetapi.Client) *coordExec {
+	ctx, stop := context.WithCancel(context.Background())
+	c := &coordExec{spec: spec, cfg: cfg, ctx: ctx, stop: stop}
+	n := len(peers)
+	for i, peer := range peers {
+		lo, hi := cfg.Devices*i/n, cfg.Devices*(i+1)/n
+		if lo == hi {
+			continue
+		}
+		c.peers = append(c.peers, peer)
+		c.shards = append(c.shards, fleetapi.ShardSpec{RunSpec: spec, DeviceLo: lo, DeviceHi: hi})
+	}
+	return c
+}
+
+func (c *coordExec) shardCount() int { return len(c.shards) }
+
+// execute fans the shards out concurrently and merges the returned states.
+// The first peer failure cancels the remaining shard requests (workers
+// observe the hung-up request and cancel their runners) and fails the run.
+func (c *coordExec) execute() (fleet.Stats, error) {
+	defer c.stop()
+	errs := make(chan error, len(c.shards))
+	for i := range c.shards {
+		go func(peer *fleetapi.Client, shard fleetapi.ShardSpec) {
+			state, err := peer.RunShard(c.ctx, shard)
+			if err != nil {
+				c.stop()
+				errs <- fmt.Errorf("peer %s shard %d..%d: %w", peer.BaseURL, shard.DeviceLo, shard.DeviceHi, err)
+				return
+			}
+			c.mu.Lock()
+			c.states = append(c.states, state)
+			c.mu.Unlock()
+			errs <- nil
+		}(c.peers[i], c.shards[i])
+	}
+	// The failing peer's error must win over its siblings': once one shard
+	// fails, the cancel unblocks the others with context-cancellation
+	// errors that can race ahead of the root cause on the channel.
+	var firstErr error
+	for range c.shards {
+		err := <-errs
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fleet.Stats{}, firstErr
+	}
+	c.mu.Lock()
+	states := append([]*fleet.RunState(nil), c.states...)
+	c.mu.Unlock()
+	return fleet.MergedStats(c.cfg, states...)
+}
+
+// stats merges the shard states collected so far — the same kind of partial
+// snapshot an in-flight local runner serves, at shard granularity. The
+// merge is recomputed only when a new shard state has arrived since the
+// last call.
+func (c *coordExec) stats() fleet.Stats {
+	c.mu.Lock()
+	if c.cached != nil && c.cachedN == len(c.states) {
+		st := *c.cached
+		c.mu.Unlock()
+		return st
+	}
+	states := append([]*fleet.RunState(nil), c.states...)
+	c.mu.Unlock()
+	st, err := fleet.MergedStats(c.cfg, states...)
+	if err != nil {
+		return fleet.Stats{Config: c.cfg}
+	}
+	c.mu.Lock()
+	if len(states) >= c.cachedN {
+		c.cached, c.cachedN = &st, len(states)
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// cancel aborts the in-flight shard requests.
+func (c *coordExec) cancel() { c.stop() }
+
+func (c *coordExec) progress() (done, total, captures int) {
+	c.mu.Lock()
+	for _, st := range c.states {
+		done += len(st.Devices)
+		captures += st.Captures
+	}
+	c.mu.Unlock()
+	return done, c.cfg.Devices, captures
+}

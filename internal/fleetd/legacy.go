@@ -1,0 +1,131 @@
+package fleetd
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+)
+
+// The legacy endpoints predate the /v1 resource API: a flat, query-param
+// surface with an implicit "latest run". They are kept as thin adapters
+// over the same createRun/run-registry machinery so existing scripts and
+// tests keep working, with one deliberate change — errors now use the
+// unified {"error": {code, message}} envelope (previously a mix of bare
+// strings and ad-hoc JSON). Status codes are unchanged.
+
+// legacySummary is one GET /runs row, the pre-v1 run listing shape.
+type legacySummary struct {
+	ID          int          `json:"id"`
+	Config      fleet.Config `json:"config"`
+	Done        bool         `json:"done"`
+	DevicesDone int          `json:"devices_done"`
+	Records     int          `json:"records"`
+	Accuracy    float64      `json:"accuracy"`
+	Top1Percent float64      `json:"top1_percent"`
+}
+
+// summary renders the legacy listing row from whichever stats source is
+// live. exec.stats() runs outside the run lock — a coordinator's merge can
+// be slow and must not block status polls.
+func (r *run) summary() legacySummary {
+	o := r.snapshot()
+	var st fleet.Stats
+	switch {
+	case o.finalStats != nil:
+		st = *o.finalStats
+	case o.exec != nil:
+		st = o.exec.stats()
+	default:
+		st = fleet.Stats{Config: r.cfg}
+	}
+	return legacySummary{
+		ID:     r.id,
+		Config: st.Config,
+		// The legacy contract: every terminated run reports done, so
+		// pollers waiting on it never spin forever — including failed
+		// coordinator runs, which have no final stats.
+		Done: !r.inFlight(),
+		// o.done, not st.DevicesDone: a failed run's st is zero-valued,
+		// and progress must not regress to zero on the legacy surface
+		// either.
+		DevicesDone: o.done,
+		Records:     st.Records,
+		Accuracy:    st.Accuracy,
+		Top1Percent: st.Top1.Percent,
+	}
+}
+
+// handleLegacyRun adapts POST /run (query-parameter spec, 202 + started
+// body, optional stream=1 NDJSON) onto the v1 creation path.
+func (s *Server) handleLegacyRun(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use POST"))
+		return
+	}
+	spec, err := fleetapi.SpecFromQuery(req.URL.Query())
+	if err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "%v", err))
+		return
+	}
+	r, apiErr := s.createRun(spec)
+	if apiErr != nil {
+		fleetapi.WriteError(w, apiErr)
+		return
+	}
+	if req.URL.Query().Get("stream") != "1" {
+		fleetapi.WriteJSON(w, http.StatusAccepted, map[string]any{"started": true, "id": r.id, "config": r.cfg})
+		return
+	}
+	s.streamRun(w, req, r)
+}
+
+// handleLegacyStats adapts GET /stats: the latest run's snapshot.
+func (s *Server) handleLegacyStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	r := s.latest
+	s.mu.Unlock()
+	if r == nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "no fleet run yet; POST /run first"))
+		return
+	}
+	s.writeStats(w, r)
+}
+
+// handleLegacyRuns adapts GET /runs: summaries of the remembered runs,
+// oldest first.
+func (s *Server) handleLegacyRuns(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET"))
+		return
+	}
+	s.mu.Lock()
+	runs := append([]*run(nil), s.runs...)
+	s.mu.Unlock()
+	out := make([]legacySummary, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.summary())
+	}
+	fleetapi.WriteJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// handleLegacyRunByID adapts GET /runs/{id}: one remembered run's full
+// stats. It parses the id from the raw path (the route is the /runs/
+// prefix), so malformed ids — including empty and multi-segment paths —
+// get the contract's 400.
+func (s *Server) handleLegacyRunByID(w http.ResponseWriter, req *http.Request) {
+	idStr := strings.TrimPrefix(req.URL.Path, "/runs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad run id %q", idStr))
+		return
+	}
+	r := s.findRun(id)
+	if r == nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "run %d not in history", id))
+		return
+	}
+	s.writeStats(w, r)
+}

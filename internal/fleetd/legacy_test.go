@@ -1,4 +1,9 @@
-package main
+package fleetd
+
+// The tests in this file are the original cmd/fleetd endpoint tests, ported
+// unchanged in behavior: the legacy endpoints must keep their contract
+// (paths, status codes, response shapes) now that they are adapters over
+// the /v1 machinery.
 
 import (
 	"encoding/json"
@@ -15,19 +20,19 @@ import (
 
 // testServer builds a server around a tiny untrained model; endpoint tests
 // care about the HTTP contract, not accuracy.
-func testServer(history int) *server {
+func testServer(history int) *Server {
 	arch := func() *nn.Model {
 		cfg := nn.DefaultConfig(int(dataset.NumClasses))
 		cfg.Width = 0.4
 		return nn.NewMobileNetV2Micro(rand.New(rand.NewSource(5)), cfg)
 	}
 	m := arch()
-	return &server{factory: fleet.BackendReplicator(arch, m), params: m.NumParams(), history: history}
+	return New(Options{Factory: fleet.BackendReplicator(arch, m), ModelParams: m.NumParams(), History: history})
 }
 
-// startRun POSTs one run and waits for it to finish (and its final stats to
-// be recorded).
-func startRun(t *testing.T, ts *httptest.Server, s *server, query string) int {
+// startRun POSTs one legacy run and waits for it to finish (and its final
+// stats to be recorded).
+func startRun(t *testing.T, ts *httptest.Server, s *Server, query string) int {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/run?"+query, "", nil)
 	if err != nil {
@@ -47,7 +52,7 @@ func startRun(t *testing.T, ts *httptest.Server, s *server, query string) int {
 	entry := s.latest
 	s.mu.Unlock()
 	deadline := time.Now().Add(30 * time.Second)
-	for !entry.finished() {
+	for entry.inFlight() {
 		if time.Now().After(deadline) {
 			t.Fatal("run never recorded final stats")
 		}
@@ -73,7 +78,7 @@ func getJSON(t *testing.T, url string, out any) int {
 
 func TestFleetdRunHistory(t *testing.T) {
 	s := testServer(2)
-	ts := httptest.NewServer(s.mux())
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	if code := getJSON(t, ts.URL+"/stats", nil); code != http.StatusNotFound {
@@ -90,7 +95,7 @@ func TestFleetdRunHistory(t *testing.T) {
 
 	// History of 2 keeps only the last two runs, oldest first.
 	var runs struct {
-		Runs []runSummary `json:"runs"`
+		Runs []legacySummary `json:"runs"`
 	}
 	if code := getJSON(t, ts.URL+"/runs", &runs); code != http.StatusOK {
 		t.Fatalf("/runs: %d", code)
@@ -121,6 +126,20 @@ func TestFleetdRunHistory(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/runs/xyz", nil); code != http.StatusBadRequest {
 		t.Fatal("/runs/xyz: want 400")
 	}
+	for _, path := range []string{"/runs/", "/runs/1/extra"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: want 400", path)
+		}
+	}
+	// Unmatched paths get the JSON envelope, not the mux's text 404.
+	var notFound struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/bogus", &notFound); code != http.StatusNotFound || notFound.Error.Code != "not_found" {
+		t.Fatalf("/bogus: code %d envelope %+v", code, notFound)
+	}
 
 	// /stats serves the latest run's recorded bytes.
 	var latest fleet.Stats
@@ -134,8 +153,19 @@ func TestFleetdRunHistory(t *testing.T) {
 
 func TestFleetdRejectsBadRuntime(t *testing.T) {
 	s := testServer(4)
-	ts := httptest.NewServer(s.mux())
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	// Negative numeric params mean "use the default" on the legacy
+	// surface, as they always have (fleet.Config treats <=0 that way).
+	neg, err := http.Post(ts.URL+"/run?devices=-1&items=1&angles=0&workers=2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg.Body.Close()
+	if neg.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy negative devices rejected: %d", neg.StatusCode)
+	}
+
 	resp, err := http.Post(ts.URL+"/run?devices=2&items=1&runtime=tpu", "", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -143,5 +173,15 @@ func TestFleetdRejectsBadRuntime(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad runtime accepted: %d", resp.StatusCode)
+	}
+	// Errors are the unified envelope now, parseable by clients.
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code == "" {
+		t.Fatalf("legacy error not an envelope: %v (code %q)", err, env.Error.Code)
 	}
 }

@@ -1,0 +1,232 @@
+package fleetd
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+)
+
+// execution is one way of carrying a run out: on this instance's own
+// runner (localExec) or fanned out to shard peers (coordExec).
+type execution interface {
+	// execute blocks until the run completes and returns its final stats.
+	execute() (fleet.Stats, error)
+	// stats snapshots in-flight progress.
+	stats() fleet.Stats
+	// progress reports devices done, total devices, and captures so far.
+	progress() (done, total, captures int)
+	// cancel asks the execution to stop early; execute still returns.
+	cancel()
+}
+
+// localExec runs the fleet in-process.
+type localExec struct {
+	runner *fleet.Runner
+}
+
+func (e *localExec) execute() (fleet.Stats, error) {
+	<-e.runner.Start()
+	return e.runner.Stats(), nil
+}
+
+func (e *localExec) stats() fleet.Stats                    { return e.runner.Stats() }
+func (e *localExec) progress() (done, total, captures int) { return e.runner.Progress() }
+func (e *localExec) cancel()                               { e.runner.Cancel() }
+
+// run is one run resource: its spec, its execution, and — once finished —
+// the deterministic stats bytes every later read serves. Finished runs drop
+// their execution (worker backend replicas, scene caches, slots), so a
+// history ring full of them costs only their JSON.
+type run struct {
+	id     int
+	spec   fleetapi.RunSpec
+	cfg    fleet.Config // spec.FleetConfig().WithDefaults()
+	shards int          // peer fan-out (0 = local execution)
+	done   chan struct{}
+
+	mu         sync.Mutex
+	exec       execution    // nil once the run finished
+	final      []byte       // final stats JSON (nil for failed runs)
+	finalStats *fleet.Stats // decoded form of final, for summaries
+	failure    string       // non-empty once the run failed
+	cancelled  bool
+	// lastDone/lastCaptures preserve a failed run's progress at failure
+	// time (a failed run has no finalStats and no exec; progress must not
+	// regress to zero).
+	lastDone     int
+	lastCaptures int
+}
+
+// execute drives the run to completion and records the outcome. The done
+// channel closes only after the outcome is recorded, so any observer
+// released by it reads final state.
+func (r *run) execute(logf func(string, ...any)) {
+	defer close(r.done)
+	exec := r.currentExec()
+	st, err := exec.execute()
+	if err != nil && r.isCancelled() && errors.Is(err, context.Canceled) {
+		// A cancelled run's context-cancellation errors are just the
+		// cancel propagating (peers observing hung-up shard requests):
+		// record the partial snapshot, the same outcome a cancelled local
+		// run gets. A genuine peer failure (coordExec prefers those over
+		// cancellation artifacts) still lands the run in state failed even
+		// when a cancel raced it — the root cause must surface.
+		st, err = exec.stats(), nil
+	}
+	// The merge above and this marshal stay outside r.mu: a coordinator's
+	// stats can be large, and status polls block on the lock.
+	var final []byte
+	if err == nil {
+		final = st.JSON()
+	}
+	done, _, captures := exec.progress()
+	r.mu.Lock()
+	if err != nil {
+		r.failure = err.Error()
+		r.lastDone, r.lastCaptures = done, captures
+	} else {
+		r.final = final
+		r.finalStats = &st
+	}
+	r.exec = nil
+	r.mu.Unlock()
+	if err != nil {
+		logf("run %d failed: %v", r.id, err)
+	} else {
+		logf("run %d finished: %d/%d devices, %d captures", r.id, st.DevicesDone, r.cfg.Devices, st.Captures)
+	}
+}
+
+// isCancelled reports whether cancel has been requested. Cancellation is
+// monotonic (false → true only), and any context-cancellation error implies
+// the flag was already set before the contexts were stopped.
+func (r *run) isCancelled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelled
+}
+
+// currentExec reads the execution under the lock; execute clears the field
+// on completion.
+func (r *run) currentExec() execution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exec
+}
+
+// inFlight reports whether the run is still executing. Once false, the
+// run's outcome (final bytes or failure) is durable.
+func (r *run) inFlight() bool {
+	select {
+	case <-r.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// cancel asks the execution to stop; idempotent, harmless after completion.
+func (r *run) cancel() {
+	r.mu.Lock()
+	r.cancelled = true
+	exec := r.exec
+	r.mu.Unlock()
+	if exec != nil {
+		exec.cancel()
+	}
+}
+
+// outcome is one coherent view of a run's recorded state plus progress,
+// copied under a single lock acquisition so no reader can pair a stale
+// state with fresh progress (e.g. "running" with every device done). It is
+// the one triage point for "which stats source is live": final/finalStats
+// once recorded, exec while executing.
+type outcome struct {
+	final      []byte
+	finalStats *fleet.Stats
+	failure    string
+	cancelled  bool
+	exec       execution
+	done       int // devices completed
+	captures   int
+}
+
+// snapshot copies the outcome fields and reads progress under one lock.
+// exec.progress() takes no run-level locks (atomics for local runs, the
+// coordExec-internal mutex for coordinated ones).
+func (r *run) snapshot() outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o := outcome{final: r.final, finalStats: r.finalStats, failure: r.failure, cancelled: r.cancelled, exec: r.exec}
+	switch {
+	case o.finalStats != nil:
+		o.done, o.captures = o.finalStats.DevicesDone, o.finalStats.Captures
+	case o.exec != nil:
+		o.done, _, o.captures = o.exec.progress()
+	default:
+		o.done, o.captures = r.lastDone, r.lastCaptures // failed run
+	}
+	return o
+}
+
+// statsJSON returns the run's stats: the recorded bytes once finished, a
+// live snapshot while in flight, or the failure as an API error. terminal
+// reports whether the result is the run's immutable outcome (recorded
+// final bytes or a failure) rather than an in-flight snapshot — streaming
+// consumers stop after a terminal write so the outcome is never emitted
+// twice.
+func (r *run) statsJSON() (b []byte, terminal bool, apiErr *fleetapi.Error) {
+	o := r.snapshot()
+	switch {
+	case o.failure != "":
+		return nil, true, fleetapi.Errorf(fleetapi.CodeRunFailed, "%s", o.failure)
+	case o.final != nil:
+		return o.final, true, nil
+	case o.exec != nil:
+		return o.exec.stats().JSON(), false, nil
+	default:
+		// Between outcome recording and done-channel close; the zero
+		// config snapshot is never observable through the handlers, which
+		// reach the run via the registry after creation.
+		return fleet.Stats{Config: r.cfg}.JSON(), false, nil
+	}
+}
+
+// progressNow reports current progress from whichever source is live.
+func (r *run) progressNow() (done, total, captures int) {
+	o := r.snapshot()
+	return o.done, r.cfg.Devices, o.captures
+}
+
+// status renders the /v1 resource representation.
+func (r *run) status() fleetapi.RunStatus {
+	o := r.snapshot()
+	failure, cancelled, final := o.failure, o.cancelled, o.final
+	st := fleetapi.RunStatus{
+		ID:      r.id,
+		Spec:    r.spec,
+		Devices: r.cfg.Devices,
+		Shards:  r.shards,
+	}
+	st.DevicesDone, st.Captures = o.done, o.captures
+	// States are monotonic: "running" until the outcome is recorded, then
+	// exactly one immutable terminal state. A cancel therefore shows
+	// "running" while the run drains (it still is), and a cancel that
+	// landed after the last device finished reports "done", not
+	// "cancelled" — judged by completeness, like the shard handler.
+	switch {
+	case failure != "":
+		st.State = fleetapi.StateFailed
+		st.Error = failure
+	case final == nil:
+		st.State = fleetapi.StateRunning
+	case cancelled && st.DevicesDone < r.cfg.Devices:
+		st.State = fleetapi.StateCancelled
+	default:
+		st.State = fleetapi.StateDone
+	}
+	return st
+}

@@ -1,0 +1,458 @@
+// Package fleetd implements the fleet-monitoring service behind cmd/fleetd:
+// a resource-oriented /v1 HTTP API over internal/fleet, with runs as
+// addressable resources, device-range shard execution for distributed
+// fleets, an optional coordinator mode that splits one run across peer
+// instances, and thin adapters that keep the original flat endpoints
+// (/run, /stats, /runs) working. It lives under internal/ rather than in
+// package main so tests and examples can embed instances in-process.
+package fleetd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+	"repro/internal/nn"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Factory builds per-worker inference backends for the shared model.
+	Factory fleet.BackendFactory
+	// ModelParams is reported by /healthz.
+	ModelParams int
+	// History is how many finished runs GET /runs and /v1/runs remember:
+	// 0 selects the default of 32, anything else clamps to at least 1
+	// (the ring logic assumes a positive capacity).
+	History int
+	// Peers switches the instance into coordinator mode: POST /v1/runs
+	// splits each run's device range across these instances (base URLs or
+	// host:port) instead of executing locally. The instance still serves
+	// /v1/shards, so coordinators can be stacked on workers.
+	Peers []string
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the run registry and the HTTP surface. At most one run
+// resource executes at a time (run creation 409s while one is in flight);
+// shard executions are independent of that admission rule — they are the
+// *inside* of some coordinator's single run, not runs of their own.
+type Server struct {
+	factory fleet.BackendFactory
+	params  int
+	history int
+	peers   []*fleetapi.Client
+	logf    func(format string, args ...any)
+
+	mu     sync.Mutex
+	latest *run
+	runs   []*run // ring of remembered runs, oldest first
+	nextID int
+	// shardRunners tracks in-flight shard executions so CancelRuns can
+	// reach them at shutdown; its size is capped by shardSlots, the
+	// admission bound that keeps N concurrent coordinators (or a retrying
+	// client) from building N capture-cap-sized runners at once — the
+	// shard-side analogue of the one-run-at-a-time rule.
+	shardRunners map[*fleet.Runner]struct{}
+	shardCount   int // reserved shard slots (covers the pre-runner build window)
+	shardSlots   int
+	closing      bool // set by CancelRuns; new work is refused
+}
+
+// New returns a Server; call Handler to mount it.
+func New(o Options) *Server {
+	if o.History == 0 {
+		o.History = 32
+	} else if o.History < 1 {
+		o.History = 1
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		factory:      o.Factory,
+		params:       o.ModelParams,
+		history:      o.History,
+		logf:         logf,
+		shardRunners: map[*fleet.Runner]struct{}{},
+		shardSlots:   4,
+	}
+	for _, p := range o.Peers {
+		s.peers = append(s.peers, fleetapi.NewClient(p))
+	}
+	return s
+}
+
+// Coordinator reports whether the instance fans runs out to peers.
+func (s *Server) Coordinator() bool { return len(s.peers) > 0 }
+
+// Handler mounts the v1 API and the legacy adapters.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/runs", s.handleRunsCollection)
+	mux.HandleFunc("/v1/runs/{id}", s.handleRunResource)
+	mux.HandleFunc("/v1/runs/{id}/stats", s.handleRunStats)
+	mux.HandleFunc("/v1/runs/{id}/stream", s.handleRunStream)
+	mux.HandleFunc("/v1/shards", s.handleShard)
+	mux.HandleFunc("/run", s.handleLegacyRun)
+	mux.HandleFunc("/stats", s.handleLegacyStats)
+	mux.HandleFunc("/runs", s.handleLegacyRuns)
+	// Trailing-slash prefix, not "/runs/{id}": the legacy contract replies
+	// 400 to any garbage after /runs/ (including /runs/ itself and extra
+	// segments), where a {id} pattern would fall through to a 404.
+	mux.HandleFunc("/runs/", s.handleLegacyRunByID)
+	// Catch-all so unmatched paths get the JSON envelope instead of the
+	// mux's text/plain 404 — every error this server emits is parseable.
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "no such endpoint %s", req.URL.Path))
+	})
+	return mux
+}
+
+// CancelRuns cancels every in-flight run and shard execution and refuses
+// new ones. It is the graceful-shutdown hook: cancelled runs drain quickly
+// (devices not yet started are skipped), which in turn lets streaming
+// handlers and shard requests finish so http.Server.Shutdown can complete —
+// and a run created by a handler racing the shutdown would be silently
+// killed at process exit, so creation is barred first.
+func (s *Server) CancelRuns() {
+	s.mu.Lock()
+	s.closing = true
+	runs := append([]*run(nil), s.runs...)
+	shards := make([]*fleet.Runner, 0, len(s.shardRunners))
+	for r := range s.shardRunners {
+		shards = append(shards, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		if r.inFlight() {
+			r.cancel()
+		}
+	}
+	for _, r := range shards {
+		r.Cancel()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fleetapi.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"model_params": s.params,
+		"runtimes":     nn.Runtimes(),
+		"peers":        len(s.peers),
+	})
+}
+
+// createRun validates a spec, enforces the one-run-in-flight rule, and
+// launches the run (locally or across peers). It is the single creation
+// path for POST /v1/runs and the legacy POST /run.
+func (s *Server) createRun(spec fleetapi.RunSpec) (*run, *fleetapi.Error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fleetapi.Errorf(fleetapi.CodeBadRequest, "%v", err)
+	}
+	cfg := spec.FleetConfig().WithDefaults()
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down")
+	}
+	// In flight = the latest run's devices are not all done. Judging by
+	// progress rather than the done channel avoids a spurious 409 in the
+	// window between the last device finishing and the goroutine recording
+	// the final stats (which for capture-cap-sized runs takes a while).
+	if s.latest != nil && s.latest.inFlight() {
+		if done, total, _ := s.latest.progressNow(); done < total {
+			s.mu.Unlock()
+			return nil, fleetapi.Errorf(fleetapi.CodeConflict, "a fleet run is already in flight")
+		}
+	}
+	r := &run{id: s.nextID, spec: spec, cfg: cfg, done: make(chan struct{})}
+	if len(s.peers) > 0 {
+		coord := newCoordExec(spec, cfg, s.peers)
+		r.exec = coord
+		r.shards = coord.shardCount()
+	} else {
+		r.exec = &localExec{runner: fleet.NewRunner(cfg, s.factory)}
+	}
+	s.nextID++
+	s.latest = r
+	s.runs = append(s.runs, r)
+	if len(s.runs) > s.history {
+		s.runs = s.runs[len(s.runs)-s.history:]
+	}
+	s.mu.Unlock()
+
+	go r.execute(s.logf)
+	s.logf("run %d started: devices=%d items=%d seed=%d runtime=%q shards=%d",
+		r.id, cfg.Devices, cfg.Items, cfg.Seed, cfg.Runtime, r.shards)
+	return r, nil
+}
+
+func (s *Server) findRun(id int) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// runFromPath resolves the {id} path value into a run, writing the error
+// reply itself when it can't.
+func (s *Server) runFromPath(w http.ResponseWriter, req *http.Request) *run {
+	idStr := req.PathValue("id")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad run id %q", idStr))
+		return nil
+	}
+	r := s.findRun(id)
+	if r == nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "run %d not in history", id))
+	}
+	return r
+}
+
+func (s *Server) handleRunsCollection(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodPost:
+		var spec fleetapi.RunSpec
+		// Strict decoding, unlike the legacy query parser: a misspelled
+		// field — or no body at all — must not silently launch a default
+		// run. An all-defaults run is an explicit `{}`.
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad run spec: %v", err))
+			return
+		}
+		r, apiErr := s.createRun(spec)
+		if apiErr != nil {
+			fleetapi.WriteError(w, apiErr)
+			return
+		}
+		fleetapi.WriteJSON(w, http.StatusCreated, r.status())
+	case http.MethodGet:
+		s.mu.Lock()
+		runs := append([]*run(nil), s.runs...)
+		s.mu.Unlock()
+		out := make([]fleetapi.RunStatus, 0, len(runs))
+		for _, r := range runs {
+			out = append(out, r.status())
+		}
+		fleetapi.WriteJSON(w, http.StatusOK, map[string]any{"runs": out})
+	default:
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET or POST"))
+	}
+}
+
+func (s *Server) handleRunResource(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		if r := s.runFromPath(w, req); r != nil {
+			fleetapi.WriteJSON(w, http.StatusOK, r.status())
+		}
+	case http.MethodDelete:
+		r := s.runFromPath(w, req)
+		if r == nil {
+			return
+		}
+		if r.inFlight() {
+			r.cancel()
+			s.logf("run %d cancelled", r.id)
+			fleetapi.WriteJSON(w, http.StatusAccepted, r.status())
+			return
+		}
+		s.mu.Lock()
+		for i, e := range s.runs {
+			if e == r {
+				s.runs = append(s.runs[:i], s.runs[i+1:]...)
+				break
+			}
+		}
+		if s.latest == r {
+			// Fall back to the newest remembered run so legacy /stats
+			// keeps serving while history is non-empty.
+			s.latest = nil
+			if n := len(s.runs); n > 0 {
+				s.latest = s.runs[n-1]
+			}
+		}
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET or DELETE"))
+	}
+}
+
+func (s *Server) handleRunStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET"))
+		return
+	}
+	r := s.runFromPath(w, req)
+	if r == nil {
+		return
+	}
+	s.writeStats(w, r)
+}
+
+func (s *Server) writeStats(w http.ResponseWriter, r *run) {
+	b, _, apiErr := r.statsJSON()
+	if apiErr != nil {
+		fleetapi.WriteError(w, apiErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (s *Server) handleRunStream(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET"))
+		return
+	}
+	r := s.runFromPath(w, req)
+	if r == nil {
+		return
+	}
+	s.streamRun(w, req, r)
+}
+
+// streamRun holds the connection and writes NDJSON stats snapshots until
+// the run completes (one final deterministic snapshot), the run fails (one
+// error-envelope line), or the client goes away.
+func (s *Server) streamRun(w http.ResponseWriter, req *http.Request, r *run) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// write emits one snapshot line and reports whether the stream should
+	// continue: a terminal line (the recorded outcome or a failure
+	// envelope) ends it, so a ticker firing in the same select round the
+	// done channel closes can't emit the outcome twice.
+	write := func() (more bool) {
+		b, terminal, apiErr := r.statsJSON()
+		if apiErr != nil {
+			b = apiErr.MarshalEnvelope()
+		}
+		// Two writes, not append(b, '\n'): for finished runs b is the
+		// shared cached final slice, and an in-place append would race
+		// concurrent streams on its backing array.
+		w.Write(b)
+		io.WriteString(w, "\n")
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return !terminal
+	}
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if !write() {
+				return
+			}
+		case <-r.done:
+			write()
+			return
+		case <-req.Context().Done():
+			return // client went away; the run keeps going
+		}
+	}
+}
+
+// handleShard executes one device-range shard synchronously and returns
+// its fleet.RunState. Shards deliberately bypass the run registry: they
+// are subordinate work owned by a coordinator's run resource.
+func (s *Server) handleShard(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use POST"))
+		return
+	}
+	var spec fleetapi.ShardSpec
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad shard spec: %v", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "%v", err))
+		return
+	}
+	// Reserve the slot before NewRunner: admission must precede the
+	// synchronous dataset generation a runner build pays.
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down"))
+		return
+	}
+	if s.shardCount >= s.shardSlots {
+		s.mu.Unlock()
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeConflict, "%d shard executions already in flight", s.shardSlots))
+		return
+	}
+	s.shardCount++
+	s.mu.Unlock()
+	runner := fleet.NewRunner(spec.FleetConfig(), s.factory)
+	s.mu.Lock()
+	// Re-check closing: CancelRuns may have snapshotted shardRunners while
+	// this runner was being built, in which case nothing would ever cancel
+	// it and it would stall the server shutdown for its whole execution.
+	if s.closing {
+		s.shardCount--
+		s.mu.Unlock()
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down"))
+		return
+	}
+	s.shardRunners[runner] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.shardRunners, runner)
+		s.shardCount--
+		s.mu.Unlock()
+	}()
+
+	s.logf("shard started: devices=%d..%d seed=%d", spec.DeviceLo, spec.DeviceHi, spec.Seed)
+	done := runner.Start()
+	select {
+	case <-done:
+	case <-req.Context().Done():
+		// The coordinator hung up (its run was cancelled, or it lost a
+		// sibling shard); stop burning captures and drain.
+		runner.Cancel()
+		<-done
+	}
+	// Judge by actual completeness, not the cancel flag: a cancel landing
+	// after the last device finished (shutdown racing a completed shard)
+	// must not discard a fully computed state.
+	if done, total, _ := runner.Progress(); done < total {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeRunFailed, "shard cancelled before completion"))
+		return
+	}
+	data, err := runner.MarshalRunState()
+	if err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeInternal, "marshal shard state: %v", err))
+		return
+	}
+	_, _, captures := runner.Progress()
+	s.logf("shard finished: devices=%d..%d %d captures", spec.DeviceLo, spec.DeviceHi, captures)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}

@@ -1,0 +1,488 @@
+package fleetd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+)
+
+// v1Fixture is one in-process instance plus a client on it.
+func v1Fixture(t *testing.T, history int) (*Server, *fleetapi.Client) {
+	t.Helper()
+	s := testServer(history)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, fleetapi.NewClient(ts.URL)
+}
+
+// coordinatorFixture stands up n worker instances sharing one model factory
+// plus a coordinator fanning out to them.
+func coordinatorFixture(t *testing.T, workers int) *fleetapi.Client {
+	t.Helper()
+	peers := make([]string, workers)
+	for i := range peers {
+		w := testServer(4)
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		peers[i] = ts.URL
+	}
+	coord := testServer(4)
+	coord.peers = nil
+	for _, p := range peers {
+		coord.peers = append(coord.peers, fleetapi.NewClient(p))
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	return fleetapi.NewClient(ts.URL)
+}
+
+var testSpec = fleetapi.RunSpec{Devices: 6, Items: 1, Angles: []int{0}, Seed: 3, Workers: 2}
+
+func TestV1RunLifecycle(t *testing.T) {
+	_, c := v1Fixture(t, 4)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 0 || st.Devices != 6 || st.Spec.Seed != 3 {
+		t.Fatalf("created status %+v", st)
+	}
+	st, err = c.WaitRun(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateDone || st.DevicesDone != 6 || st.Captures != 6 {
+		t.Fatalf("final status %+v", st)
+	}
+
+	data, err := c.RunStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats fleet.Stats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 6 || stats.Config.Devices != 6 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	runs, err := c.ListRuns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != 0 {
+		t.Fatalf("list %+v", runs)
+	}
+
+	// The stream endpoint replays a finished run's final snapshot once.
+	var lines [][]byte
+	if err := c.StreamStats(ctx, st.ID, func(b []byte) error {
+		lines = append(lines, append([]byte(nil), b...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !bytes.Equal(lines[0], data) {
+		t.Fatalf("stream of finished run: %d lines", len(lines))
+	}
+
+	// DELETE evicts the finished run.
+	if err := c.DeleteRun(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetRun(ctx, st.ID); err == nil {
+		t.Fatal("deleted run still served")
+	} else if e, ok := err.(*fleetapi.Error); !ok || e.Status != http.StatusNotFound {
+		t.Fatalf("deleted run error %v", err)
+	}
+}
+
+func TestV1Errors(t *testing.T) {
+	_, c := v1Fixture(t, 4)
+	ctx := context.Background()
+
+	if _, err := c.CreateRun(ctx, fleetapi.RunSpec{Runtime: "tpu"}); err == nil {
+		t.Fatal("bad runtime accepted")
+	} else if e := err.(*fleetapi.Error); e.Status != http.StatusBadRequest || e.Code != fleetapi.CodeBadRequest {
+		t.Fatalf("bad runtime error %+v", e)
+	}
+	if _, err := c.GetRun(ctx, 99); err == nil {
+		t.Fatal("missing run served")
+	} else if e := err.(*fleetapi.Error); e.Status != http.StatusNotFound {
+		t.Fatalf("missing run error %+v", e)
+	}
+	if _, err := c.RunStats(ctx, 99); err == nil {
+		t.Fatal("missing run stats served")
+	}
+
+	// A misspelled spec field must 400, not silently launch a default run.
+	resp, err := http.Post(c.BaseURL+"/v1/runs", "application/json",
+		strings.NewReader(`{"device":5000,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown spec field accepted: %d", resp.StatusCode)
+	}
+	// So must an empty body — an all-defaults run is an explicit {}.
+	resp, err = http.Post(c.BaseURL+"/v1/runs", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body accepted: %d", resp.StatusCode)
+	}
+
+	// One run in flight at a time: a second create 409s while the first
+	// runs.
+	big := testSpec
+	big.Devices, big.Workers = 200, 1
+	st, err := c.CreateRun(ctx, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRun(ctx, testSpec); err == nil {
+		t.Fatal("concurrent run accepted")
+	} else if e := err.(*fleetapi.Error); e.Status != http.StatusConflict || e.Code != fleetapi.CodeConflict {
+		t.Fatalf("conflict error %+v", e)
+	}
+	// Cancel it via DELETE; the run drains and reports cancelled.
+	if err := c.DeleteRun(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.WaitRun(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateCancelled || st.DevicesDone >= 200 {
+		t.Fatalf("cancelled status %+v", st)
+	}
+}
+
+func TestShardEndpoint(t *testing.T) {
+	_, c := v1Fixture(t, 4)
+	ctx := context.Background()
+	spec := fleetapi.RunSpec{Devices: 10, Items: 1, Angles: []int{1}, Seed: 11, Workers: 2}
+
+	// Range edge cases are 4xx: empty, lo==hi, inverted, beyond devices.
+	for _, rng := range [][2]int{{0, 0}, {4, 4}, {7, 3}, {-1, 5}, {5, 11}} {
+		_, err := c.RunShard(ctx, fleetapi.ShardSpec{RunSpec: spec, DeviceLo: rng[0], DeviceHi: rng[1]})
+		if err == nil {
+			t.Fatalf("shard range %v accepted", rng)
+		}
+		if e, ok := err.(*fleetapi.Error); !ok || e.Status != http.StatusBadRequest {
+			t.Fatalf("shard range %v error %v", rng, err)
+		}
+	}
+
+	// Two shards merged == the full run, byte for byte.
+	full := fleet.NewRunner(spec.FleetConfig(), testServer(1).factory).Run().JSON()
+	var states []*fleet.RunState
+	for _, rng := range [][2]int{{0, 4}, {4, 10}} {
+		st, err := c.RunShard(ctx, fleetapi.ShardSpec{RunSpec: spec, DeviceLo: rng[0], DeviceHi: rng[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DeviceLo != rng[0] || st.DeviceHi != rng[1] || len(st.Devices) != rng[1]-rng[0] {
+			t.Fatalf("shard state range %d..%d devices %d", st.DeviceLo, st.DeviceHi, len(st.Devices))
+		}
+		states = append(states, st)
+	}
+	merged, err := fleet.MergedStats(spec.FleetConfig(), states...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.JSON(); !bytes.Equal(got, full) {
+		t.Fatalf("shard-merged stats diverged:\n%s\nvs\n%s", got, full)
+	}
+}
+
+// TestCoordinatorMatchesSingleInstance is the end-to-end distributed
+// property: a coordinator splitting one run across two worker instances
+// must serve /v1/runs/{id}/stats byte-identical to the same run executed on
+// a single instance.
+func TestCoordinatorMatchesSingleInstance(t *testing.T) {
+	spec := fleetapi.RunSpec{Devices: 30, Items: 1, Angles: []int{0, 2}, Seed: 21, Workers: 2}
+
+	_, single := v1Fixture(t, 4)
+	ctx := context.Background()
+	st, err := single.CreateRun(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.RunStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := coordinatorFixture(t, 2)
+	cst, err := coord.CreateRun(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Shards != 2 {
+		t.Fatalf("coordinator fan-out %d shards, want 2", cst.Shards)
+	}
+	cst, err = coord.WaitRun(ctx, cst.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.State != fleetapi.StateDone || cst.DevicesDone != 30 {
+		t.Fatalf("coordinator final status %+v", cst)
+	}
+	got, err := coord.RunStats(ctx, cst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("coordinator stats diverged from single instance:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCoordinator500DeviceAcceptance is the acceptance-scale run: 500
+// devices split across 2 shard instances, byte-identical to one instance.
+// Skipped in -short mode (it is sized like the fleet golden tests).
+func TestCoordinator500DeviceAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-device coordinator run skipped in -short mode")
+	}
+	spec := fleetapi.RunSpec{Devices: 500, Items: 1, Angles: []int{2}, Seed: 424242, Workers: 4}
+	want := fleet.NewRunner(spec.FleetConfig(), testServer(1).factory).Run().JSON()
+
+	coord := coordinatorFixture(t, 2)
+	ctx := context.Background()
+	st, err := coord.CreateRun(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = coord.WaitRun(ctx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateDone || st.DevicesDone != 500 {
+		t.Fatalf("final status %+v", st)
+	}
+	got, err := coord.RunStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("500-device coordinator stats diverged from single instance")
+	}
+}
+
+// TestCoordinatorPeerFailure fails one worker mid-run: the run must land in
+// state failed with a peer-attributed error, and its stats endpoint must
+// return the run_failed envelope.
+func TestCoordinatorPeerFailure(t *testing.T) {
+	good := httptest.NewServer(testServer(4).Handler())
+	t.Cleanup(good.Close)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeInternal, "worker exploded"))
+	}))
+	t.Cleanup(bad.Close)
+
+	coord := testServer(4)
+	coord.peers = []*fleetapi.Client{fleetapi.NewClient(good.URL), fleetapi.NewClient(bad.URL)}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	c := fleetapi.NewClient(ts.URL)
+
+	ctx := context.Background()
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.WaitRun(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateFailed || !strings.Contains(st.Error, "worker exploded") {
+		t.Fatalf("failed status %+v", st)
+	}
+	if _, err := c.RunStats(ctx, st.ID); err == nil {
+		t.Fatal("failed run served stats")
+	} else if e := err.(*fleetapi.Error); e.Code != fleetapi.CodeRunFailed {
+		t.Fatalf("failed run stats error %+v", e)
+	}
+
+	// Legacy pollers watch done; a terminated-by-failure run must report it.
+	var runs struct {
+		Runs []legacySummary `json:"runs"`
+	}
+	if code := getJSON(t, ts.URL+"/runs", &runs); code != http.StatusOK {
+		t.Fatalf("/runs: %d", code)
+	}
+	if len(runs.Runs) != 1 || !runs.Runs[0].Done {
+		t.Fatalf("failed run legacy summary %+v", runs.Runs)
+	}
+}
+
+// TestCoordinatorCancel checks cancellation parity between execution modes:
+// DELETE on an in-flight coordinator run must land in state cancelled with
+// a servable partial snapshot — not state failed from the peers' aborted
+// shard requests.
+func TestCoordinatorCancel(t *testing.T) {
+	coord := coordinatorFixture(t, 2)
+	ctx := context.Background()
+	spec := fleetapi.RunSpec{Devices: 400, Items: 1, Angles: []int{0}, Seed: 9, Workers: 1}
+	st, err := coord.CreateRun(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.DeleteRun(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	st, err = coord.WaitRun(waitCtx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateCancelled {
+		t.Fatalf("coordinator run after DELETE: %+v", st)
+	}
+	if _, err := coord.RunStats(ctx, st.ID); err != nil {
+		t.Fatalf("cancelled coordinator run stats: %v", err)
+	}
+}
+
+// TestShardConcurrencyCap: shard admission rejects executions past the
+// slot bound with a conflict envelope instead of building unbounded
+// runners.
+func TestShardConcurrencyCap(t *testing.T) {
+	s, c := v1Fixture(t, 4)
+	s.shardSlots = 0 // every request is one over the bound
+	ctx := context.Background()
+	_, err := c.RunShard(ctx, fleetapi.ShardSpec{
+		RunSpec: fleetapi.RunSpec{Devices: 4, Items: 1, Angles: []int{0}}, DeviceLo: 0, DeviceHi: 4})
+	if err == nil {
+		t.Fatal("shard accepted past the slot bound")
+	}
+	if e, ok := err.(*fleetapi.Error); !ok || e.Status != http.StatusConflict {
+		t.Fatalf("over-cap shard error %v", err)
+	}
+}
+
+// TestDeleteLatestFallsBack: evicting the newest finished run must leave
+// legacy /stats serving the next-newest remembered run, not 404.
+func TestDeleteLatestFallsBack(t *testing.T) {
+	s, c := v1Fixture(t, 4)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		st, err := c.CreateRun(ctx, testSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := c.RunStats(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteRun(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(bytes.TrimSpace(body), bytes.TrimSpace(want)) {
+		t.Fatalf("/stats after deleting latest: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestCancelRunsDrains is the shutdown hook: CancelRuns on a server with an
+// in-flight run must let the run finish promptly as cancelled.
+func TestCancelRunsDrains(t *testing.T) {
+	s, c := v1Fixture(t, 4)
+	ctx := context.Background()
+	spec := fleetapi.RunSpec{Devices: 300, Items: 1, Angles: []int{0}, Seed: 5, Workers: 1}
+	st, err := c.CreateRun(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CancelRuns()
+	waitCtx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	defer cancel()
+	st, err = c.WaitRun(waitCtx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != fleetapi.StateCancelled {
+		t.Fatalf("state after CancelRuns: %+v", st)
+	}
+	// A shutting-down server refuses new work instead of accepting runs
+	// the process exit would silently kill.
+	if _, err := c.CreateRun(ctx, testSpec); err == nil {
+		t.Fatal("run accepted after CancelRuns")
+	} else if e := err.(*fleetapi.Error); e.Status != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown create error %+v", e)
+	}
+	if _, err := c.RunShard(ctx, fleetapi.ShardSpec{
+		RunSpec: fleetapi.RunSpec{Devices: 4, Items: 1, Angles: []int{0}}, DeviceLo: 0, DeviceHi: 4}); err == nil {
+		t.Fatal("shard accepted after CancelRuns")
+	}
+}
+
+// TestLegacyAndV1ServeSameBytes pins the adapter property: /stats,
+// /runs/{id} and /v1/runs/{id}/stats all serve the same recorded bytes.
+func TestLegacyAndV1ServeSameBytes(t *testing.T) {
+	s, c := v1Fixture(t, 4)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c.RunStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/stats", "/runs/0"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(body), bytes.TrimSpace(v1)) {
+			t.Fatalf("%s diverged from v1 stats:\n%s\nvs\n%s", path, body, v1)
+		}
+	}
+}

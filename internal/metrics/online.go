@@ -56,6 +56,31 @@ func (o *Online) Merge(other Online) {
 	o.N += other.N
 }
 
+// OnlineState is the complete serializable form of an Online accumulator,
+// including the unexported second-moment term. Restoring it reproduces the
+// accumulator bit-for-bit, so a distributed shard can ship its per-device
+// aggregates and the coordinator can resume the exact float operation
+// sequence a single process would have run — the property fleet-stats
+// byte-determinism rests on. (encoding/json emits the shortest float64
+// representation that round-trips exactly, so JSON transport is lossless.)
+type OnlineState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator's exact internal state.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.N, Mean: o.MeanVal, M2: o.m2, Min: o.MinVal, Max: o.MaxVal}
+}
+
+// FromState rebuilds an accumulator from an exported state.
+func FromState(s OnlineState) Online {
+	return Online{N: s.N, MeanVal: s.Mean, m2: s.M2, MinVal: s.Min, MaxVal: s.Max}
+}
+
 // Mean returns the running mean (0 when empty).
 func (o *Online) Mean() float64 { return o.MeanVal }
 

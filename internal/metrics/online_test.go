@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -75,6 +76,36 @@ func TestOnlineMergeEmpty(t *testing.T) {
 	b.Merge(a) // merging into empty copies
 	if b.N != 1 || b.Mean() != 2 || b.MinVal != 2 || b.MaxVal != 2 {
 		t.Fatalf("merge into empty: %+v", b)
+	}
+}
+
+// TestOnlineStateRoundTrip checks State/FromState is exact — including a
+// pass through JSON, the transport fleet shard states use — by continuing
+// the restored accumulator and comparing every subsequent float bit-for-bit
+// against the original.
+func TestOnlineStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var o Online
+	for i := 0; i < 257; i++ {
+		o.Observe(rng.NormFloat64() * 1e3)
+	}
+	data, err := json.Marshal(o.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s OnlineState
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	back := FromState(s)
+	if back != o {
+		t.Fatalf("state round trip not exact:\n%+v\nvs\n%+v", back, o)
+	}
+	v := rng.ExpFloat64()
+	o.Observe(v)
+	back.Observe(v)
+	if back != o || back.Stddev() != o.Stddev() {
+		t.Fatalf("restored accumulator diverged after observe:\n%+v\nvs\n%+v", back, o)
 	}
 }
 

@@ -2,6 +2,7 @@ package stability
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 )
@@ -28,9 +29,18 @@ type Accumulator struct {
 	// which runtimes have been observed and whether each was ever correct /
 	// incorrect there (two bits per runtime — ORed, so merging stays
 	// order-independent). Distinct cells are bounded by the record stream's
-	// own (scene × device) extent, the same order as the envs map times the
-	// group count.
-	cells map[cellKey]map[string]uint8
+	// own (scene × device) extent — the accumulator's dominant allocation at
+	// multi-million-capture scale — so the per-runtime bits are packed:
+	// runtime names are interned once per accumulator into lane indices
+	// (laneOf/laneNames) and each cell is a single uint64 word holding two
+	// bits per lane, instead of one small heap map per cell.
+	cells map[cellKey]uint64
+	// laneOf interns runtime names into cell-word lane indices; laneNames is
+	// the inverse. Lanes are assigned in first-observation order, which is
+	// why the wire format carries names, not indices: two shards of one
+	// fleet may intern the same runtimes in different orders.
+	laneOf    map[string]int
+	laneNames []string
 }
 
 // cellKey identifies one device looking at one scene — the granularity at
@@ -40,11 +50,47 @@ type cellKey struct {
 	env         string
 }
 
-// Cell observation bits.
+// Cell observation bits, per lane of the packed cell word: lane i occupies
+// word bits [2i, 2i+2).
 const (
 	cellCorrect   = 1
 	cellIncorrect = 2
 )
+
+// maxCellLanes is how many distinct runtimes one accumulator's packed cell
+// words can track (two bits per lane in a uint64). Three runtimes exist
+// today; the limit is a wire-validation bound, not a sizing concern.
+const maxCellLanes = 32
+
+// laneMask selects every lane's cellCorrect bit; shifted left once it
+// selects every cellIncorrect bit.
+const laneMask = 0x5555555555555555
+
+// lane interns a runtime name, reporting false once the lane space is
+// exhausted. Callers on the Add path panic on false (runtime names come
+// from nn.Runtimes(), so exhaustion is a programming error); the wire
+// decoder returns an error instead. Callers must hold a.mu.
+func (a *Accumulator) lane(rt string) (int, bool) {
+	if i, ok := a.laneOf[rt]; ok {
+		return i, true
+	}
+	i := len(a.laneNames)
+	if i >= maxCellLanes {
+		return 0, false
+	}
+	a.laneOf[rt] = i
+	a.laneNames = append(a.laneNames, rt)
+	return i, true
+}
+
+// mustLane is lane for the Add path.
+func (a *Accumulator) mustLane(rt string) int {
+	i, ok := a.lane(rt)
+	if !ok {
+		panic(fmt.Sprintf("stability: more than %d distinct runtimes", maxCellLanes))
+	}
+	return i
+}
 
 // groupCounts is the running correctness tally for one (item, angle) group,
 // overall and split by inference runtime.
@@ -71,7 +117,8 @@ func NewAccumulator() *Accumulator {
 		groups:   map[GroupKey]*groupCounts{},
 		envs:     map[string]*envCounts{},
 		runtimes: map[string]*envCounts{},
-		cells:    map[cellKey]map[string]uint8{},
+		cells:    map[cellKey]uint64{},
+		laneOf:   map[string]int{},
 	}
 }
 
@@ -123,15 +170,11 @@ func (a *Accumulator) Add(r *Record) {
 	bump(a.envs, r.Env)
 	bump(a.runtimes, rt)
 	ck := cellKey{r.ItemID, r.Angle, r.Env}
-	cell, ok := a.cells[ck]
-	if !ok {
-		cell = map[string]uint8{}
-		a.cells[ck] = cell
-	}
+	shift := 2 * a.mustLane(rt)
 	if r.Correct() {
-		cell[rt] |= cellCorrect
+		a.cells[ck] |= cellCorrect << shift
 	} else {
-		cell[rt] |= cellIncorrect
+		a.cells[ck] |= cellIncorrect << shift
 	}
 }
 
@@ -199,15 +242,19 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	}
 	mergeEnvs(a.envs, other.envs)
 	mergeEnvs(a.runtimes, other.runtimes)
-	for ck, ocell := range other.cells {
-		cell, ok := a.cells[ck]
-		if !ok {
-			cell = map[string]uint8{}
-			a.cells[ck] = cell
+	// The two accumulators interned runtimes in their own observation
+	// orders, so other's cell words are remapped lane-by-lane through a
+	// shift table before ORing in.
+	shift := make([]int, len(other.laneNames))
+	for j, rt := range other.laneNames {
+		shift[j] = 2 * a.mustLane(rt)
+	}
+	for ck, ow := range other.cells {
+		var w uint64
+		for j := range shift {
+			w |= (ow >> (2 * j) & 3) << shift[j]
 		}
-		for rt, bits := range ocell {
-			cell[rt] |= bits
-		}
+		a.cells[ck] |= w
 	}
 }
 
@@ -290,23 +337,20 @@ func (a *Accumulator) Snapshot() AccumulatorSnapshot {
 		}
 	}
 
-	for _, cell := range a.cells {
-		if len(cell) < 2 {
+	for _, w := range a.cells {
+		// observed has one bit set per lane with any observation; a cell
+		// enters the denominator only when ≥2 runtimes saw it.
+		observed := (w | w>>1) & laneMask
+		if bits.OnesCount64(observed) < 2 {
 			continue
 		}
 		s.CrossRuntime.Groups++
-		anyCorrect, anyIncorrect, consistent := false, false, true
-		for _, bits := range cell {
-			if bits&cellCorrect != 0 {
-				anyCorrect = true
-			}
-			if bits&cellIncorrect != 0 {
-				anyIncorrect = true
-			}
-			if bits == cellCorrect|cellIncorrect {
-				consistent = false
-			}
-		}
+		anyCorrect := w&laneMask != 0
+		anyIncorrect := w&(laneMask<<1) != 0
+		// A lane with both bits set is a runtime that flipped on its own;
+		// the cross-runtime attribution requires every runtime internally
+		// consistent.
+		consistent := w&(w>>1)&laneMask == 0
 		if anyCorrect && anyIncorrect && consistent {
 			s.CrossRuntime.Unstable++
 		}

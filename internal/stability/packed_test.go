@@ -1,0 +1,178 @@
+package stability
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// referenceCellState is the pre-packing cell representation — one small map
+// per (item, angle, env) cell — rebuilt here from the raw records as the
+// oracle the packed uint64 words must match through the wire format.
+func referenceCellState(records []*Record) map[cellKey]map[string]uint8 {
+	cells := map[cellKey]map[string]uint8{}
+	for _, r := range records {
+		ck := cellKey{r.ItemID, r.Angle, r.Env}
+		cell, ok := cells[ck]
+		if !ok {
+			cell = map[string]uint8{}
+			cells[ck] = cell
+		}
+		if r.Correct() {
+			cell[r.RuntimeName()] |= cellCorrect
+		} else {
+			cell[r.RuntimeName()] |= cellIncorrect
+		}
+	}
+	return cells
+}
+
+// manyRuntimeRecords is randomRecords with a wider runtime alphabet, so the
+// packed words carry more than a handful of lanes.
+func manyRuntimeRecords(rng *rand.Rand, n, runtimes int) []*Record {
+	out := randomRecords(rng, n)
+	for _, r := range out {
+		r.Runtime = fmt.Sprintf("rt-%02d", rng.Intn(runtimes))
+	}
+	return out
+}
+
+// TestPackedCellsMatchReference is the representation-equivalence property:
+// for random streams (including wide runtime alphabets), the packed
+// accumulator's marshaled cells must equal the naive per-cell-map
+// representation, runtime for runtime, bit for bit.
+func TestPackedCellsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		var records []*Record
+		if trial%2 == 0 {
+			records = randomRecords(rng, 1+rng.Intn(400))
+		} else {
+			records = manyRuntimeRecords(rng, 1+rng.Intn(400), 2+rng.Intn(20))
+		}
+		acc := NewAccumulator()
+		acc.AddAll(records)
+		data, err := acc.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w wireState
+		if err := json.Unmarshal(data, &w); err != nil {
+			t.Fatal(err)
+		}
+		ref := referenceCellState(records)
+		if len(w.Cells) != len(ref) {
+			t.Fatalf("trial %d: %d wire cells, reference %d", trial, len(w.Cells), len(ref))
+		}
+		for _, wc := range w.Cells {
+			cell := ref[cellKey{wc.ItemID, wc.Angle, wc.Env}]
+			if len(wc.Runtimes) != len(cell) {
+				t.Fatalf("trial %d cell %d/%d/%s: %d runtimes, reference %d",
+					trial, wc.ItemID, wc.Angle, wc.Env, len(wc.Runtimes), len(cell))
+			}
+			for i, rt := range wc.Runtimes {
+				if i > 0 && wc.Runtimes[i-1] >= rt {
+					t.Fatalf("trial %d cell %d/%d/%s: runtimes not sorted: %v",
+						trial, wc.ItemID, wc.Angle, wc.Env, wc.Runtimes)
+				}
+				if uint8(wc.Bits[i]) != cell[rt] {
+					t.Fatalf("trial %d cell %d/%d/%s runtime %s: bits %d, reference %d",
+						trial, wc.ItemID, wc.Angle, wc.Env, rt, wc.Bits[i], cell[rt])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedMergeRemapsLanes merges accumulators that interned the same
+// runtimes in different first-observation orders: the lane remap must make
+// the merge equal to one accumulator fed both streams, and marshaled bytes
+// must not depend on intern order.
+func TestPackedMergeRemapsLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		records := manyRuntimeRecords(rng, 50+rng.Intn(300), 2+rng.Intn(15))
+		whole := NewAccumulator()
+		whole.AddAll(records)
+		wantBytes, err := whole.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reversed shard order flips which accumulator interns which lanes
+		// first.
+		a, b := NewAccumulator(), NewAccumulator()
+		for i, r := range records {
+			if i%2 == 0 {
+				a.Add(r)
+			} else {
+				b.Add(r)
+			}
+		}
+		for _, order := range [][]*Accumulator{{a, b}, {b, a}} {
+			merged := NewAccumulator()
+			for _, s := range order {
+				merged.Merge(s)
+			}
+			got, err := merged.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantBytes) {
+				t.Fatalf("trial %d: merged state depends on intern order:\n%s\nvs\n%s", trial, got, wantBytes)
+			}
+		}
+	}
+}
+
+// TestPackedLaneLimit pins the lane-space contract: the Add path panics past
+// maxCellLanes distinct runtimes (a programming error — real runtimes come
+// from nn.Runtimes()), while the wire decoder returns an error for states
+// that would exceed it, whether on their own or merged into a populated
+// accumulator.
+func TestPackedLaneLimit(t *testing.T) {
+	rec := func(rt string) *Record {
+		return &Record{ItemID: 1, TrueClass: 0, Env: "e", Runtime: rt, Pred: 0}
+	}
+	acc := NewAccumulator()
+	for i := 0; i < maxCellLanes; i++ {
+		acc.Add(rec(fmt.Sprintf("rt-%02d", i)))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Add accepted runtime %d past the lane limit", maxCellLanes)
+			}
+		}()
+		acc.Add(rec("one-too-many"))
+	}()
+
+	// A state whose own cells exceed the limit is rejected outright.
+	var wc wireCell
+	wc.ItemID, wc.Env = 1, "e"
+	for i := 0; i <= maxCellLanes; i++ {
+		wc.Runtimes = append(wc.Runtimes, fmt.Sprintf("rt-%02d", i))
+		wc.Bits = append(wc.Bits, cellCorrect)
+	}
+	over, err := json.Marshal(wireState{Version: wireVersion, Cells: []wireCell{wc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewAccumulator().UnmarshalState(over); err == nil {
+		t.Fatal("UnmarshalState accepted a state past the lane limit")
+	}
+
+	// A state valid on its own is still rejected when merging it into a
+	// populated accumulator would exhaust the combined lane space.
+	state, err := acc.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewAccumulator()
+	full.Add(rec("already-here"))
+	if err := full.UnmarshalState(state); err == nil {
+		t.Fatal("UnmarshalState accepted a merge past the combined lane limit")
+	}
+}

@@ -119,17 +119,24 @@ func (a *Accumulator) MarshalState() ([]byte, error) {
 		}
 		return a.env < b.env
 	})
+	// Lanes were interned in observation order; the wire format lists each
+	// cell's runtimes sorted by name, so walk lanes through one name-sorted
+	// index built up front.
+	laneOrder := make([]int, len(a.laneNames))
+	for i := range laneOrder {
+		laneOrder[i] = i
+	}
+	sort.Slice(laneOrder, func(i, j int) bool {
+		return a.laneNames[laneOrder[i]] < a.laneNames[laneOrder[j]]
+	})
 	for _, ck := range cellKeys {
-		cell := a.cells[ck]
+		word := a.cells[ck]
 		wc := wireCell{ItemID: ck.item, Angle: ck.angle, Env: ck.env}
-		rts := make([]string, 0, len(cell))
-		for rt := range cell {
-			rts = append(rts, rt)
-		}
-		sort.Strings(rts)
-		for _, rt := range rts {
-			wc.Runtimes = append(wc.Runtimes, rt)
-			wc.Bits = append(wc.Bits, int(cell[rt]))
+		for _, lane := range laneOrder {
+			if bits := word >> (2 * lane) & 3; bits != 0 {
+				wc.Runtimes = append(wc.Runtimes, a.laneNames[lane])
+				wc.Bits = append(wc.Bits, int(bits))
+			}
 		}
 		w.Cells = append(w.Cells, wc)
 	}
@@ -216,17 +223,38 @@ func (a *Accumulator) UnmarshalState(data []byte) error {
 		if _, dup := shard.cells[ck]; dup {
 			return fmt.Errorf("stability: accumulator state: duplicate cell %d/%d/%s", wc.ItemID, wc.Angle, wc.Env)
 		}
-		cell := map[string]uint8{}
+		var word uint64
 		for i, rt := range wc.Runtimes {
-			if _, dup := cell[rt]; dup {
+			lane, ok := shard.lane(rt)
+			if !ok {
+				return fmt.Errorf("stability: accumulator state: more than %d distinct cell runtimes", maxCellLanes)
+			}
+			if word>>(2*lane)&3 != 0 {
 				return fmt.Errorf("stability: accumulator state: duplicate runtime %q in cell %d/%d/%s", rt, wc.ItemID, wc.Angle, wc.Env)
 			}
 			if wc.Bits[i] < 1 || wc.Bits[i] > cellCorrect|cellIncorrect {
 				return fmt.Errorf("stability: accumulator state: bad cell bits %d", wc.Bits[i])
 			}
-			cell[rt] = uint8(wc.Bits[i])
+			word |= uint64(wc.Bits[i]) << (2 * lane)
 		}
-		shard.cells[ck] = cell
+		shard.cells[ck] = word
+	}
+	// Merge panics when the combined runtime set exhausts the lane space
+	// (the Add-path contract); a wire decoder must return an error instead,
+	// so check the union first. A concurrent Add interning a brand-new
+	// runtime between this check and the Merge could still panic, but that
+	// needs >32 distinct runtimes in flight — far beyond the three that
+	// exist.
+	a.mu.Lock()
+	free := maxCellLanes - len(a.laneNames)
+	for _, rt := range shard.laneNames {
+		if _, ok := a.laneOf[rt]; !ok {
+			free--
+		}
+	}
+	a.mu.Unlock()
+	if free < 0 {
+		return fmt.Errorf("stability: accumulator state: merging would exceed %d distinct cell runtimes", maxCellLanes)
 	}
 	a.Merge(shard)
 	return nil

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Smoke-test the fleetd /v1 API end to end: boot one worker and one
+# coordinator (sharing a model snapshot so the worker trains it once),
+# create a run through the coordinator, wait for it, and check the stats
+# and legacy endpoints answer. Used by CI and runnable locally:
+#
+#   ./scripts/smoke_fleetd.sh [bin]
+set -euo pipefail
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+  BIN="$(mktemp -d)/fleetd"
+  go build -o "$BIN" ./cmd/fleetd
+fi
+WORKDIR="$(mktemp -d)"
+MODEL="$WORKDIR/base.model"
+WORKER_PORT=8471
+COORD_PORT=8472
+
+cleanup() {
+  kill "${WORKER_PID:-}" "${COORD_PID:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthz() {
+  for _ in $(seq 1 120); do
+    if curl -fsS "localhost:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 1
+  done
+  echo "instance on :$1 never became healthy" >&2
+  return 1
+}
+
+# Worker first: it trains and snapshots the model; the coordinator then
+# loads the snapshot instead of retraining.
+"$BIN" -addr ":$WORKER_PORT" -train-items 60 -epochs 1 -model "$MODEL" \
+  >"$WORKDIR/worker.log" 2>&1 &
+WORKER_PID=$!
+wait_healthz "$WORKER_PORT"
+
+"$BIN" -addr ":$COORD_PORT" -model "$MODEL" -peers "localhost:$WORKER_PORT" \
+  >"$WORKDIR/coord.log" 2>&1 &
+COORD_PID=$!
+wait_healthz "$COORD_PORT"
+
+BASE="localhost:$COORD_PORT"
+echo "== create run"
+curl -fsS -X POST "$BASE/v1/runs" \
+  -d '{"devices":20,"items":1,"angles":[0],"seed":3,"workers":2}' | tee "$WORKDIR/create.json"
+RUN_ID=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORKDIR/create.json")
+
+echo "== wait for run $RUN_ID"
+STATE=running
+for _ in $(seq 1 120); do
+  # Guarded so a crashed server yields the log dump below, not a bare
+  # curl error swallowed by set -e.
+  STATE=$(curl -fsS "$BASE/v1/runs/$RUN_ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])') || {
+    echo "status poll failed" >&2
+    tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+    exit 1
+  }
+  [ "$STATE" != running ] && break
+  sleep 1
+done
+if [ "$STATE" != done ]; then
+  echo "run ended in state $STATE" >&2
+  tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+  exit 1
+fi
+
+echo "== stats"
+curl -fsS "$BASE/v1/runs/$RUN_ID/stats" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert st["devices_done"] == 20, st["devices_done"]
+assert st["records"] == 20, st["records"]
+assert "cross_runtime" in st and "by_runtime" in st, sorted(st)
+print("stats ok: records=%d accuracy=%.3f" % (st["records"], st["accuracy"]))
+'
+
+echo "== error envelope"
+curl -sS "$BASE/v1/runs/999/stats" | python3 -c '
+import json, sys
+env = json.load(sys.stdin)
+assert env["error"]["code"] == "not_found", env
+print("envelope ok")
+'
+
+echo "== legacy endpoints"
+curl -fsS "$BASE/stats" >/dev/null
+curl -fsS "$BASE/runs" >/dev/null
+curl -fsS "$BASE/runs/$RUN_ID" >/dev/null
+echo "legacy ok"
+
+echo "== graceful shutdown"
+kill -TERM "$COORD_PID"
+for _ in $(seq 1 30); do
+  kill -0 "$COORD_PID" 2>/dev/null || break
+  sleep 1
+done
+if kill -0 "$COORD_PID" 2>/dev/null; then
+  echo "coordinator ignored SIGTERM" >&2
+  exit 1
+fi
+grep -q "fleetd stopped" "$WORKDIR/coord.log"
+echo "shutdown ok"
+
+echo "fleetd smoke passed"
