@@ -18,6 +18,11 @@
 //	GET    /v1/runs/{id}/stats   stats snapshot (deterministic once done)
 //	GET    /v1/runs/{id}/stream  NDJSON snapshots until completion
 //	POST   /v1/shards            execute one device-range shard, return its state
+//	POST   /v1/experiments       create a multi-arm sweep (JSON ExperimentSpec)
+//	GET    /v1/experiments       list remembered experiments
+//	GET    /v1/experiments/{id}  one experiment's status (per-arm progress)
+//	DELETE /v1/experiments/{id}  cancel an in-flight experiment / evict a finished one
+//	GET    /v1/experiments/{id}/report  paired cross-arm report (deterministic bytes)
 //	POST   /run                  legacy: create from query params (stream=1 to hold)
 //	GET    /stats /runs /runs/{id}  legacy reads
 //
@@ -57,6 +62,7 @@ func main() {
 	seed := flag.Int64("train-seed", 7, "base-model training seed")
 	history := flag.Int("history", 32, "finished runs kept for GET /runs")
 	peers := flag.String("peers", "", "comma-separated peer instances; when set, runs are split across them as device-range shards")
+	peerWait := flag.Duration("peer-wait", 60*time.Second, "how long a coordinator waits for its peers to become healthy at startup")
 	flag.Parse()
 	log.SetFlags(0)
 	if *history < 1 {
@@ -86,6 +92,30 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// A coordinator probes its peers before serving: a mistyped or dead
+	// -peers entry fails here, named, instead of minutes into the first
+	// sharded run. Peers booting concurrently (the usual supervisor case)
+	// get a grace window before the probe gives up.
+	if s.Coordinator() {
+		probeCtx, cancel := context.WithTimeout(ctx, *peerWait)
+		defer cancel()
+		for {
+			err := s.ProbePeers(probeCtx)
+			if err == nil {
+				log.Printf("fleetd peers healthy: %s", *peers)
+				break
+			}
+			if probeCtx.Err() != nil {
+				log.Fatalf("fleetd startup: %v", err)
+			}
+			log.Printf("fleetd waiting for peers: %v", err)
+			select {
+			case <-probeCtx.Done():
+			case <-time.After(time.Second):
+			}
+		}
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)

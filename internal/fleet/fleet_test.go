@@ -372,3 +372,28 @@ func TestFleetInFlightSnapshot(t *testing.T) {
 		t.Fatalf("records went backwards: %d → %d", mid.Records, final.Records)
 	}
 }
+
+// TestConfigDedupsDuplicateAngles: duplicate angles must not double-count
+// cells in the admission math or double-feed groups — direct fleet callers
+// (the API layer rejects duplicates before reaching here) get them
+// collapsed, preserving first-occurrence order.
+func TestConfigDedupsDuplicateAngles(t *testing.T) {
+	cfg := Config{Devices: 10, Items: 2, Angles: []int{2, 0, 2, 4, 0}}
+	got := cfg.WithDefaults().Angles
+	want := []int{2, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("deduped angles %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deduped angles %v, want %v", got, want)
+		}
+	}
+	if c := cfg.Captures(); c != 10*2*3 {
+		t.Fatalf("captures %d counted duplicate angles, want %d", c, 10*2*3)
+	}
+	// The original config is untouched (WithDefaults copies).
+	if len(cfg.Angles) != 5 {
+		t.Fatalf("caller slice mutated: %v", cfg.Angles)
+	}
+}

@@ -86,6 +86,22 @@ func (c Config) WithDefaults() Config {
 	}
 	if len(c.Angles) == 0 {
 		c.Angles = []int{0, 2, 4}
+	} else {
+		// Dedup preserving first-occurrence order: a duplicated angle would
+		// silently double-count cells in the Captures() admission math and
+		// double-feed every (item, angle) group. The API layer rejects
+		// duplicates outright; direct fleet callers get them collapsed.
+		angles := make([]int, 0, len(c.Angles))
+		for _, a := range c.Angles {
+			dup := false
+			for _, b := range angles {
+				dup = dup || a == b
+			}
+			if !dup {
+				angles = append(angles, a)
+			}
+		}
+		c.Angles = angles
 	}
 	if c.TopK <= 0 {
 		c.TopK = 3

@@ -153,25 +153,39 @@ func (c *Client) RunShard(ctx context.Context, spec ShardSpec) (*fleet.RunState,
 // authoritative 4xx (e.g. a 404 for an evicted run) or the context ending
 // aborts the wait.
 func (c *Client) WaitRun(ctx context.Context, id int, poll time.Duration) (RunStatus, error) {
+	var st RunStatus
+	err := waitTerminal(ctx, poll, func() (string, error) {
+		var err error
+		st, err = c.GetRun(ctx, id)
+		return st.State, err
+	})
+	return st, err
+}
+
+// waitTerminal is the shared polling loop behind WaitRun and
+// WaitExperiment: poll get until the resource leaves StateRunning,
+// retrying transient failures, aborting on authoritative 4xx or context
+// end.
+func waitTerminal(ctx context.Context, poll time.Duration, get func() (string, error)) error {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for {
-		st, err := c.GetRun(ctx, id)
+		state, err := get()
 		var apiErr *Error
 		if err == nil {
-			if st.State != StateRunning {
-				return st, nil
+			if state != StateRunning {
+				return nil
 			}
 		} else if (errors.As(err, &apiErr) && authoritative4xx(apiErr.Status)) || ctx.Err() != nil {
-			return st, err
+			return err
 		}
 		select {
 		case <-ticker.C:
 		case <-ctx.Done():
-			return st, ctx.Err()
+			return ctx.Err()
 		}
 	}
 }
@@ -182,6 +196,62 @@ func (c *Client) WaitRun(ctx context.Context, id int, poll time.Duration) (RunSt
 func authoritative4xx(status int) bool {
 	return status >= 400 && status < 500 &&
 		status != http.StatusRequestTimeout && status != http.StatusTooManyRequests
+}
+
+// CreateExperiment starts an async experiment resource: a declarative
+// multi-arm sweep executed arm by arm through the run machinery.
+func (c *Client) CreateExperiment(ctx context.Context, spec ExperimentSpec) (ExperimentStatus, error) {
+	var st ExperimentStatus
+	err := c.doJSON(ctx, http.MethodPost, "/v1/experiments", spec, &st)
+	return st, err
+}
+
+// GetExperiment fetches one experiment's status.
+func (c *Client) GetExperiment(ctx context.Context, id int) (ExperimentStatus, error) {
+	var st ExperimentStatus
+	err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("/v1/experiments/%d", id), nil, &st)
+	return st, err
+}
+
+// ListExperiments fetches the remembered experiments, oldest first.
+func (c *Client) ListExperiments(ctx context.Context) ([]ExperimentStatus, error) {
+	var out struct {
+		Experiments []ExperimentStatus `json:"experiments"`
+	}
+	err := c.doJSON(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out.Experiments, err
+}
+
+// DeleteExperiment cancels an in-flight experiment or evicts a finished one
+// from history.
+func (c *Client) DeleteExperiment(ctx context.Context, id int) error {
+	return c.doJSON(ctx, http.MethodDelete, fmt.Sprintf("/v1/experiments/%d", id), nil, nil)
+}
+
+// WaitExperiment polls until the experiment leaves StateRunning (or the
+// context ends) and returns its final status, with the same transient-retry
+// behavior as WaitRun.
+func (c *Client) WaitExperiment(ctx context.Context, id int, poll time.Duration) (ExperimentStatus, error) {
+	var st ExperimentStatus
+	err := waitTerminal(ctx, poll, func() (string, error) {
+		var err error
+		st, err = c.GetExperiment(ctx, id)
+		return st.State, err
+	})
+	return st, err
+}
+
+// ExperimentReport fetches a finished experiment's report as raw JSON — raw
+// because the bytes are the deterministic artifact (byte-identical across
+// shard topologies and worker counts). Decode into ExperimentReport for the
+// structured view.
+func (c *Client) ExperimentReport(ctx context.Context, id int) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/experiments/%d/report", id), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // StreamStats follows a run's NDJSON stats stream, invoking fn per

@@ -199,8 +199,10 @@ func (s ShardSpec) Validate() error {
 	return nil
 }
 
-// Run states.
+// Run states. Experiment arms additionally start in StatePending, since
+// arms execute sequentially and the later ones wait their turn.
 const (
+	StatePending   = "pending"
 	StateRunning   = "running"
 	StateDone      = "done"
 	StateCancelled = "cancelled"

@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -54,11 +55,19 @@ func newCoordExec(spec fleetapi.RunSpec, cfg fleet.Config, peers []*fleetapi.Cli
 
 func (c *coordExec) shardCount() int { return len(c.shards) }
 
-// execute fans the shards out concurrently and merges the returned states.
-// The first peer failure cancels the remaining shard requests (workers
-// observe the hung-up request and cancel their runners) and fails the run.
+// execute probes every peer, fans the shards out concurrently and merges
+// the returned states. The first peer failure cancels the remaining shard
+// requests (workers observe the hung-up request and cancel their runners)
+// and fails the run.
 func (c *coordExec) execute() (fleet.Stats, error) {
 	defer c.stop()
+	// Health-probe before dispatch: a dead peer fails the run immediately
+	// with its name attached, instead of minutes into a sharded fleet with
+	// a connection error buried inside a shard failure. The probe covers
+	// exactly the peers this run would dispatch to.
+	if err := probePeers(c.ctx, c.peers); err != nil {
+		return fleet.Stats{}, err
+	}
 	errs := make(chan error, len(c.shards))
 	for i := range c.shards {
 		go func(peer *fleetapi.Client, shard fleetapi.ShardSpec) {
@@ -123,6 +132,19 @@ func (c *coordExec) stats() fleet.Stats {
 
 // cancel aborts the in-flight shard requests.
 func (c *coordExec) cancel() { c.stop() }
+
+// accumStates returns the collected shards' accumulator wire states. The
+// fold over them is order-independent, so shard arrival order never leaks
+// into a report built from the result.
+func (c *coordExec) accumStates() ([]json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]json.RawMessage, len(c.states))
+	for i, st := range c.states {
+		out[i] = st.Accumulator
+	}
+	return out, nil
+}
 
 func (c *coordExec) progress() (done, total, captures int) {
 	c.mu.Lock()

@@ -1,0 +1,457 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+	"repro/internal/stability"
+)
+
+// armRun is one arm of an experiment: the expanded spec plus its execution
+// lifecycle. All mutable fields are guarded by the owning experiment's mu.
+type armRun struct {
+	name string
+	spec fleetapi.RunSpec
+	cfg  fleet.Config // spec.FleetConfig().WithDefaults()
+
+	state    string    // pending → running → done/cancelled/failed
+	exec     execution // non-nil while the arm executes
+	done     int       // devices completed, recorded at arm completion
+	captures int
+	errMsg   string
+}
+
+// experiment is one experiment resource: a declarative sweep executed arm
+// by arm through the same execution machinery runs use — a coordinator
+// instance transparently shards every arm across its peers. Arms run
+// sequentially in expansion order, so an experiment occupies the same
+// single admission slot a run does, never multiplying the instance's peak
+// memory by the arm count.
+type experiment struct {
+	id       int
+	spec     fleetapi.ExperimentSpec
+	baseline string
+	shards   int // peer fan-out per arm (0 = local execution)
+	newExec  func(spec fleetapi.RunSpec, cfg fleet.Config) execution
+	done     chan struct{}
+
+	mu        sync.Mutex
+	arms      []*armRun
+	cancelled bool
+	final     string // terminal state; "" while executing
+	failure   string // non-empty once the experiment failed
+	report    []byte // recorded deterministic report bytes (state done only)
+}
+
+// execute drives the arms to completion in order and records the outcome:
+// the report bytes when every arm completed, the first failure otherwise.
+// The done channel closes only after the outcome is recorded.
+func (e *experiment) execute(logf func(string, ...any)) {
+	defer close(e.done)
+	stats := make([]fleet.Stats, len(e.arms))
+	accs := make([]*stability.Accumulator, len(e.arms))
+	failed := false
+	for i, arm := range e.arms {
+		e.mu.Lock()
+		if e.cancelled || failed {
+			arm.state = fleetapi.StateCancelled
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Unlock()
+		// Building the execution (a local runner pays synchronous dataset
+		// generation) happens outside the lock; status polls must not block
+		// on it.
+		exec := e.newExec(arm.spec, arm.cfg)
+		e.mu.Lock()
+		if e.cancelled {
+			arm.state = fleetapi.StateCancelled
+			e.mu.Unlock()
+			exec.cancel() // built but never run; release its context
+			continue
+		}
+		arm.exec, arm.state = exec, fleetapi.StateRunning
+		e.mu.Unlock()
+		logf("experiment %d arm %q started: devices=%d", e.id, arm.name, arm.cfg.Devices)
+
+		st, err := exec.execute()
+		if err != nil && e.isCancelled() && errors.Is(err, context.Canceled) {
+			// Cancel propagation, not a root-cause failure — same triage as
+			// run.execute.
+			st, err = exec.stats(), nil
+		}
+		var acc *stability.Accumulator
+		if err == nil {
+			acc, err = foldAccumStates(exec)
+		}
+		done, _, captures := exec.progress()
+		e.mu.Lock()
+		arm.exec = nil
+		arm.done, arm.captures = done, captures
+		switch {
+		case err != nil:
+			arm.state = fleetapi.StateFailed
+			arm.errMsg = err.Error()
+			e.failure = fmt.Sprintf("arm %s: %v", arm.name, err)
+			failed = true
+		case done < arm.cfg.Devices:
+			arm.state = fleetapi.StateCancelled // cancelled mid-arm
+		default:
+			arm.state = fleetapi.StateDone
+			stats[i], accs[i] = st, acc
+		}
+		state := arm.state
+		e.mu.Unlock()
+		logf("experiment %d arm %q %s: %d/%d devices, %d captures",
+			e.id, arm.name, state, done, arm.cfg.Devices, captures)
+	}
+
+	// Outcome: done (with a recorded report) only when every arm ran to
+	// completion; the report's paired stats are meaningless with arms
+	// missing.
+	complete := true
+	e.mu.Lock()
+	for _, arm := range e.arms {
+		complete = complete && arm.state == fleetapi.StateDone
+	}
+	e.mu.Unlock()
+	final := fleetapi.StateDone
+	var report []byte
+	switch {
+	case failed:
+		final = fleetapi.StateFailed
+	case !complete:
+		final = fleetapi.StateCancelled
+	default:
+		// Built outside the lock: the report is O(arms × cells).
+		b, err := buildReport(e.id, e.baseline, e.arms, stats, accs)
+		if err != nil {
+			final = fleetapi.StateFailed
+			e.mu.Lock()
+			e.failure = fmt.Sprintf("report: %v", err)
+			e.mu.Unlock()
+		} else {
+			report = b
+		}
+	}
+	e.mu.Lock()
+	e.final, e.report = final, report
+	e.mu.Unlock()
+	logf("experiment %d %s", e.id, final)
+}
+
+// foldAccumStates rebuilds an arm's stability accumulator from its
+// execution's shard states. Local and coordinated arms go through the same
+// wire path, and the fold is order-independent, so the result — and every
+// report stat derived from it — is identical however the arm was sharded.
+func foldAccumStates(exec execution) (*stability.Accumulator, error) {
+	states, err := exec.accumStates()
+	if err != nil {
+		return nil, err
+	}
+	acc := stability.NewAccumulator()
+	for _, st := range states {
+		if err := acc.UnmarshalState(st); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// buildReport assembles and marshals the deterministic experiment report:
+// per-arm stats from the executions (byte-identical across sharding, like
+// run stats), paired comparisons and the agreement matrix from the folded
+// accumulators.
+func buildReport(id int, baseline string, arms []*armRun, stats []fleet.Stats, accs []*stability.Accumulator) ([]byte, error) {
+	outcomes := make([]map[stability.Cell]stability.Outcome, len(arms))
+	names := make([]string, len(arms))
+	base := 0
+	for i, arm := range arms {
+		outcomes[i] = accs[i].Outcomes()
+		names[i] = arm.name
+		if arm.name == baseline {
+			base = i
+		}
+	}
+	rep := fleetapi.ExperimentReport{ID: id, Baseline: baseline}
+	baseStats := stats[base]
+	for i, arm := range arms {
+		st := stats[i]
+		ar := fleetapi.ArmReport{
+			Name:             arm.name,
+			Baseline:         i == base,
+			Spec:             arm.spec,
+			Devices:          st.DevicesDone,
+			Captures:         st.Captures,
+			Records:          st.Records,
+			Accuracy:         st.Accuracy,
+			TopKAccuracy:     st.TopKAccuracy,
+			Top1:             st.Top1,
+			DeltaAccuracy:    st.Accuracy - baseStats.Accuracy,
+			DeltaInstability: st.Top1.Percent - baseStats.Top1.Percent,
+		}
+		if i != base {
+			p := stability.ComparePair(outcomes[base], outcomes[i])
+			ar.Paired = &p
+		}
+		rep.Arms = append(rep.Arms, ar)
+	}
+	rep.Agreement = fleetapi.AgreementMatrix{Arms: names, Rates: stability.Agreement(outcomes)}
+	return json.Marshal(&rep)
+}
+
+// inFlight reports whether the experiment is still executing. Once false,
+// the outcome (report bytes or failure) is durable.
+func (e *experiment) inFlight() bool {
+	select {
+	case <-e.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// isCancelled reports whether cancel has been requested.
+func (e *experiment) isCancelled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cancelled
+}
+
+// cancel stops the experiment: the executing arm is cancelled and every arm
+// not yet started will be skipped. Idempotent, harmless after completion.
+func (e *experiment) cancel() {
+	e.mu.Lock()
+	e.cancelled = true
+	var exec execution
+	for _, arm := range e.arms {
+		if arm.exec != nil {
+			exec = arm.exec
+		}
+	}
+	e.mu.Unlock()
+	if exec != nil {
+		exec.cancel()
+	}
+}
+
+// status renders the /v1 resource representation.
+func (e *experiment) status() fleetapi.ExperimentStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := fleetapi.ExperimentStatus{
+		ID:       e.id,
+		Spec:     e.spec,
+		Baseline: e.baseline,
+		Shards:   e.shards,
+		Error:    e.failure,
+	}
+	if st.State = e.final; st.State == "" {
+		st.State = fleetapi.StateRunning
+	}
+	for _, arm := range e.arms {
+		as := fleetapi.ArmStatus{
+			Name:        arm.name,
+			State:       arm.state,
+			Spec:        arm.spec,
+			Devices:     arm.cfg.Devices,
+			DevicesDone: arm.done,
+			Captures:    arm.captures,
+			Error:       arm.errMsg,
+		}
+		if arm.exec != nil {
+			// Live progress; exec.progress takes no experiment-level locks.
+			as.DevicesDone, _, as.Captures = arm.exec.progress()
+		}
+		st.Arms = append(st.Arms, as)
+	}
+	return st
+}
+
+// reportJSON returns the recorded report bytes, or the API error explaining
+// why there are none.
+func (e *experiment) reportJSON() ([]byte, *fleetapi.Error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case e.final == "":
+		return nil, fleetapi.Errorf(fleetapi.CodeConflict, "experiment %d is still running", e.id)
+	case e.report != nil:
+		return e.report, nil
+	case e.failure != "":
+		return nil, fleetapi.Errorf(fleetapi.CodeRunFailed, "%s", e.failure)
+	default:
+		return nil, fleetapi.Errorf(fleetapi.CodeRunFailed, "experiment %d cancelled before completion", e.id)
+	}
+}
+
+// createExperiment validates a spec, takes the shared admission slot, and
+// launches the sweep. Single creation path for POST /v1/experiments.
+func (s *Server) createExperiment(spec fleetapi.ExperimentSpec) (*experiment, *fleetapi.Error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fleetapi.Errorf(fleetapi.CodeBadRequest, "%v", err)
+	}
+	arms := spec.Arms()
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down")
+	}
+	if s.busyLocked() {
+		s.mu.Unlock()
+		return nil, fleetapi.Errorf(fleetapi.CodeConflict, "a fleet run or experiment is already in flight")
+	}
+	e := &experiment{
+		id:       s.nextExpID,
+		spec:     spec,
+		baseline: spec.BaselineArm(),
+		shards:   len(s.peers),
+		done:     make(chan struct{}),
+	}
+	if len(s.peers) > 0 {
+		peers := s.peers
+		e.newExec = func(rs fleetapi.RunSpec, cfg fleet.Config) execution {
+			return newCoordExec(rs, cfg, peers)
+		}
+	} else {
+		factory := s.factory
+		e.newExec = func(_ fleetapi.RunSpec, cfg fleet.Config) execution {
+			return &localExec{runner: fleet.NewRunner(cfg, factory)}
+		}
+	}
+	for _, a := range arms {
+		e.arms = append(e.arms, &armRun{
+			name:  a.Name,
+			spec:  a.Spec,
+			cfg:   a.Spec.FleetConfig().WithDefaults(),
+			state: fleetapi.StatePending,
+		})
+	}
+	s.nextExpID++
+	s.experiments = append(s.experiments, e)
+	if len(s.experiments) > s.history {
+		s.experiments = s.experiments[len(s.experiments)-s.history:]
+	}
+	s.mu.Unlock()
+
+	go e.execute(s.logf)
+	s.logf("experiment %d started: %d arms, baseline %q, shards=%d", e.id, len(arms), e.baseline, e.shards)
+	return e, nil
+}
+
+func (s *Server) findExperiment(id int) *experiment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.experiments {
+		if e.id == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// experimentFromPath resolves the {id} path value, writing the error reply
+// itself when it can't.
+func (s *Server) experimentFromPath(w http.ResponseWriter, req *http.Request) *experiment {
+	idStr := req.PathValue("id")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad experiment id %q", idStr))
+		return nil
+	}
+	e := s.findExperiment(id)
+	if e == nil {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "experiment %d not in history", id))
+	}
+	return e
+}
+
+func (s *Server) handleExperimentsCollection(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodPost:
+		var spec fleetapi.ExperimentSpec
+		// Strict decoding, like POST /v1/runs: a misspelled axis must not
+		// silently run a smaller sweep.
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad experiment spec: %v", err))
+			return
+		}
+		e, apiErr := s.createExperiment(spec)
+		if apiErr != nil {
+			fleetapi.WriteError(w, apiErr)
+			return
+		}
+		fleetapi.WriteJSON(w, http.StatusCreated, e.status())
+	case http.MethodGet:
+		s.mu.Lock()
+		exps := append([]*experiment(nil), s.experiments...)
+		s.mu.Unlock()
+		out := make([]fleetapi.ExperimentStatus, 0, len(exps))
+		for _, e := range exps {
+			out = append(out, e.status())
+		}
+		fleetapi.WriteJSON(w, http.StatusOK, map[string]any{"experiments": out})
+	default:
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET or POST"))
+	}
+}
+
+func (s *Server) handleExperimentResource(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		if e := s.experimentFromPath(w, req); e != nil {
+			fleetapi.WriteJSON(w, http.StatusOK, e.status())
+		}
+	case http.MethodDelete:
+		e := s.experimentFromPath(w, req)
+		if e == nil {
+			return
+		}
+		if e.inFlight() {
+			e.cancel()
+			s.logf("experiment %d cancelled", e.id)
+			fleetapi.WriteJSON(w, http.StatusAccepted, e.status())
+			return
+		}
+		s.mu.Lock()
+		for i, x := range s.experiments {
+			if x == e {
+				s.experiments = append(s.experiments[:i], s.experiments[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET or DELETE"))
+	}
+}
+
+func (s *Server) handleExperimentReport(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET"))
+		return
+	}
+	e := s.experimentFromPath(w, req)
+	if e == nil {
+		return
+	}
+	b, apiErr := e.reportJSON()
+	if apiErr != nil {
+		fleetapi.WriteError(w, apiErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}

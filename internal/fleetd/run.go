@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 
@@ -20,6 +21,11 @@ type execution interface {
 	progress() (done, total, captures int)
 	// cancel asks the execution to stop early; execute still returns.
 	cancel()
+	// accumStates returns the execution's stability accumulator wire states
+	// after execute returns — one per shard, a single element for local
+	// runs. The experiment report layer folds them back into a per-arm
+	// accumulator for paired cross-arm comparison.
+	accumStates() ([]json.RawMessage, error)
 }
 
 // localExec runs the fleet in-process.
@@ -35,6 +41,14 @@ func (e *localExec) execute() (fleet.Stats, error) {
 func (e *localExec) stats() fleet.Stats                    { return e.runner.Stats() }
 func (e *localExec) progress() (done, total, captures int) { return e.runner.Progress() }
 func (e *localExec) cancel()                               { e.runner.Cancel() }
+
+func (e *localExec) accumStates() ([]json.RawMessage, error) {
+	st, err := e.runner.AccumulatorState()
+	if err != nil {
+		return nil, err
+	}
+	return []json.RawMessage{st}, nil
+}
 
 // run is one run resource: its spec, its execution, and — once finished —
 // the deterministic stats bytes every later read serves. Finished runs drop

@@ -8,7 +8,9 @@
 package fleetd
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -54,6 +56,11 @@ type Server struct {
 	latest *run
 	runs   []*run // ring of remembered runs, oldest first
 	nextID int
+	// experiments is the ring of remembered experiments, oldest first, with
+	// its own id space; experiments share the run admission slot (see
+	// busyLocked) but are separate resources.
+	experiments []*experiment
+	nextExpID   int
 	// shardRunners tracks in-flight shard executions so CancelRuns can
 	// reach them at shutdown; its size is capped by shardSlots, the
 	// admission bound that keeps N concurrent coordinators (or a retrying
@@ -102,6 +109,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/runs/{id}/stats", s.handleRunStats)
 	mux.HandleFunc("/v1/runs/{id}/stream", s.handleRunStream)
 	mux.HandleFunc("/v1/shards", s.handleShard)
+	mux.HandleFunc("/v1/experiments", s.handleExperimentsCollection)
+	mux.HandleFunc("/v1/experiments/{id}", s.handleExperimentResource)
+	mux.HandleFunc("/v1/experiments/{id}/report", s.handleExperimentReport)
 	mux.HandleFunc("/run", s.handleLegacyRun)
 	mux.HandleFunc("/stats", s.handleLegacyStats)
 	mux.HandleFunc("/runs", s.handleLegacyRuns)
@@ -127,6 +137,7 @@ func (s *Server) CancelRuns() {
 	s.mu.Lock()
 	s.closing = true
 	runs := append([]*run(nil), s.runs...)
+	exps := append([]*experiment(nil), s.experiments...)
 	shards := make([]*fleet.Runner, 0, len(s.shardRunners))
 	for r := range s.shardRunners {
 		shards = append(shards, r)
@@ -137,9 +148,55 @@ func (s *Server) CancelRuns() {
 			r.cancel()
 		}
 	}
+	for _, e := range exps {
+		if e.inFlight() {
+			e.cancel()
+		}
+	}
 	for _, r := range shards {
 		r.Cancel()
 	}
+}
+
+// ProbePeers checks every peer's /healthz, returning the first failure
+// attributed to its peer by name. A no-op for non-coordinators. cmd/fleetd
+// calls it at startup so a mistyped -peers entry fails fast instead of
+// surfacing minutes later as a mid-run shard error; the coordinator
+// execution path re-probes before every dispatch.
+func (s *Server) ProbePeers(ctx context.Context) error {
+	return probePeers(ctx, s.peers)
+}
+
+// probePeers is the shared health probe behind ProbePeers and the
+// coordinator's pre-dispatch check.
+func probePeers(ctx context.Context, peers []*fleetapi.Client) error {
+	for _, p := range peers {
+		if err := p.Healthz(ctx); err != nil {
+			return fmt.Errorf("peer %s failed health probe: %w", p.BaseURL, err)
+		}
+	}
+	return nil
+}
+
+// busyLocked reports whether a run or an experiment is currently executing;
+// callers hold s.mu. Runs and experiments share one admission slot: both
+// are bounded by the captures cap precisely because only one of them holds
+// capture-scale state at a time.
+func (s *Server) busyLocked() bool {
+	// In flight = the latest run's devices are not all done. Judging by
+	// progress rather than the done channel avoids a spurious conflict in
+	// the window between the last device finishing and the goroutine
+	// recording the final stats (which for capture-cap-sized runs takes a
+	// while).
+	if s.latest != nil && s.latest.inFlight() {
+		if done, total, _ := s.latest.progressNow(); done < total {
+			return true
+		}
+	}
+	if n := len(s.experiments); n > 0 && s.experiments[n-1].inFlight() {
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -165,15 +222,9 @@ func (s *Server) createRun(spec fleetapi.RunSpec) (*run, *fleetapi.Error) {
 		s.mu.Unlock()
 		return nil, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down")
 	}
-	// In flight = the latest run's devices are not all done. Judging by
-	// progress rather than the done channel avoids a spurious 409 in the
-	// window between the last device finishing and the goroutine recording
-	// the final stats (which for capture-cap-sized runs takes a while).
-	if s.latest != nil && s.latest.inFlight() {
-		if done, total, _ := s.latest.progressNow(); done < total {
-			s.mu.Unlock()
-			return nil, fleetapi.Errorf(fleetapi.CodeConflict, "a fleet run is already in flight")
-		}
+	if s.busyLocked() {
+		s.mu.Unlock()
+		return nil, fleetapi.Errorf(fleetapi.CodeConflict, "a fleet run or experiment is already in flight")
 	}
 	r := &run{id: s.nextID, spec: spec, cfg: cfg, done: make(chan struct{})}
 	if len(s.peers) > 0 {

@@ -1,0 +1,146 @@
+package stability
+
+// Cross-arm comparison: the paper's method is paired, not marginal — the
+// same capture matrix replayed under two conditions (runtimes, resolutions,
+// device populations), compared cell by cell. Datta et al. (2023) make the
+// case explicitly: instability must be measured as a paired delta between
+// arms, because two arms can report identical accuracy while disagreeing on
+// a large fraction of individual cells. This file turns two accumulators —
+// one per experiment arm — into that paired measurement.
+
+// Cell identifies one device looking at one scene — the granularity at
+// which a cross-arm flip is attributable to the swept condition alone (the
+// same key the accumulator's cross-runtime cells use).
+type Cell struct {
+	ItemID int
+	Angle  int
+	Env    string
+}
+
+// Outcome is one cell's collapsed correctness within a single arm.
+type Outcome uint8
+
+const (
+	// OutcomeCorrect: every observation of the cell was correct.
+	OutcomeCorrect Outcome = iota + 1
+	// OutcomeIncorrect: every observation of the cell was incorrect.
+	OutcomeIncorrect
+	// OutcomeMixed: the arm disagrees with itself on the cell (e.g. a mixed
+	// fleet whose runtimes split on it). Mixed cells never count as flips —
+	// a flip requires each arm internally consistent, the same contract the
+	// cross-runtime attribution uses.
+	OutcomeMixed
+)
+
+// Outcomes collapses the accumulator's per-cell observation bits (across
+// all runtimes the arm ran) into one outcome per cell. The map is the
+// pairing substrate for ComparePair and Agreement; callers typically
+// compute it once per arm.
+func (a *Accumulator) Outcomes() map[Cell]Outcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[Cell]Outcome, len(a.cells))
+	for ck, w := range a.cells {
+		anyCorrect := w&laneMask != 0
+		anyIncorrect := w&(laneMask<<1) != 0
+		var o Outcome
+		switch {
+		case anyCorrect && anyIncorrect:
+			o = OutcomeMixed
+		case anyCorrect:
+			o = OutcomeCorrect
+		default:
+			o = OutcomeIncorrect
+		}
+		out[Cell{ck.item, ck.angle, ck.env}] = o
+	}
+	return out
+}
+
+// PairedStats is the per-cell comparison of one arm against a baseline arm
+// over the cells both observed. All counts are integers accumulated over
+// the shared-cell set, so the stats are deterministic regardless of how
+// either arm was sharded or scheduled.
+type PairedStats struct {
+	// Cells is how many cells both arms observed — the paired denominator.
+	Cells int `json:"cells"`
+	// Flips counts shared cells whose correctness flips between the arms
+	// while each arm is internally consistent: one consistently correct,
+	// the other consistently incorrect. For two single-runtime arms this is
+	// exactly the cross-runtime attribution of the merged accumulators.
+	Flips int `json:"flips"`
+	// Regressions and Improvements split Flips by direction: baseline
+	// correct → arm incorrect, and baseline incorrect → arm correct.
+	Regressions  int `json:"regressions"`
+	Improvements int `json:"improvements"`
+	// FlipRate is Flips / Cells.
+	FlipRate float64 `json:"flip_rate"`
+	// Agreement is the fraction of shared cells with identical collapsed
+	// outcomes (mixed matching mixed counts as agreement).
+	Agreement float64 `json:"agreement"`
+}
+
+// ComparePair compares an arm's cell outcomes against a baseline's over
+// their shared cells.
+func ComparePair(base, arm map[Cell]Outcome) PairedStats {
+	var p PairedStats
+	agree := 0
+	for c, b := range base {
+		o, ok := arm[c]
+		if !ok {
+			continue
+		}
+		p.Cells++
+		if o == b {
+			agree++
+		}
+		switch {
+		case b == OutcomeCorrect && o == OutcomeIncorrect:
+			p.Regressions++
+		case b == OutcomeIncorrect && o == OutcomeCorrect:
+			p.Improvements++
+		}
+	}
+	p.Flips = p.Regressions + p.Improvements
+	if p.Cells > 0 {
+		p.FlipRate = float64(p.Flips) / float64(p.Cells)
+		p.Agreement = float64(agree) / float64(p.Cells)
+	}
+	return p
+}
+
+// Agreement computes the pairwise agreement matrix over the arms' outcome
+// maps: result[i][j] is the fraction of cells observed by both arms i and j
+// whose outcomes match (0 when they share no cells). The matrix is
+// symmetric with a unit diagonal for any arm that observed cells.
+func Agreement(outcomes []map[Cell]Outcome) [][]float64 {
+	n := len(outcomes)
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(outcomes[i]) > 0 {
+			rates[i][i] = 1
+		}
+		for j := i + 1; j < n; j++ {
+			shared, agree := 0, 0
+			for c, a := range outcomes[i] {
+				b, ok := outcomes[j][c]
+				if !ok {
+					continue
+				}
+				shared++
+				if a == b {
+					agree++
+				}
+			}
+			var rate float64
+			if shared > 0 {
+				rate = float64(agree) / float64(shared)
+			}
+			rates[i][j], rates[j][i] = rate, rate
+		}
+	}
+	return rates
+}

@@ -1,0 +1,140 @@
+package stability
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// armRec builds one record for comparison tests.
+func armRec(item, angle int, env, runtime string, correct bool) *Record {
+	pred := 1
+	if !correct {
+		pred = 2
+	}
+	return &Record{ItemID: item, Angle: angle, TrueClass: 1, Env: env, Runtime: runtime, Pred: pred}
+}
+
+func TestOutcomesCollapse(t *testing.T) {
+	a := NewAccumulator()
+	a.Add(armRec(0, 0, "p", "float32", true))  // consistent correct
+	a.Add(armRec(0, 0, "p", "float32", true))  // second observation, same cell
+	a.Add(armRec(1, 0, "p", "float32", false)) // consistent incorrect
+	a.Add(armRec(2, 0, "p", "float32", true))  // mixed within one runtime
+	a.Add(armRec(2, 0, "p", "float32", false))
+	a.Add(armRec(3, 0, "p", "float32", true)) // mixed across runtimes
+	a.Add(armRec(3, 0, "p", "int8", false))
+
+	got := a.Outcomes()
+	want := map[Cell]Outcome{
+		{0, 0, "p"}: OutcomeCorrect,
+		{1, 0, "p"}: OutcomeIncorrect,
+		{2, 0, "p"}: OutcomeMixed,
+		{3, 0, "p"}: OutcomeMixed,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("outcomes %v, want %v", got, want)
+	}
+	for c, o := range want {
+		if got[c] != o {
+			t.Fatalf("cell %+v outcome %d, want %d", c, got[c], o)
+		}
+	}
+}
+
+func TestComparePair(t *testing.T) {
+	base := NewAccumulator()
+	arm := NewAccumulator()
+	// cell 0: both correct (agree)
+	base.Add(armRec(0, 0, "p", "float32", true))
+	arm.Add(armRec(0, 0, "p", "int8", true))
+	// cell 1: both incorrect (agree)
+	base.Add(armRec(1, 0, "p", "float32", false))
+	arm.Add(armRec(1, 0, "p", "int8", false))
+	// cell 2: regression (base correct, arm incorrect)
+	base.Add(armRec(2, 0, "p", "float32", true))
+	arm.Add(armRec(2, 0, "p", "int8", false))
+	// cell 3: improvement (base incorrect, arm correct)
+	base.Add(armRec(3, 0, "p", "float32", false))
+	arm.Add(armRec(3, 0, "p", "int8", true))
+	// cell 4: base mixed, arm correct — comparable but not a flip
+	base.Add(armRec(4, 0, "p", "float32", true))
+	base.Add(armRec(4, 0, "p", "float32", false))
+	arm.Add(armRec(4, 0, "p", "int8", true))
+	// cell 5: only the baseline observed it — not comparable
+	base.Add(armRec(5, 0, "p", "float32", true))
+	// cell 6: only the arm observed it — not comparable
+	arm.Add(armRec(6, 0, "p", "int8", true))
+
+	p := ComparePair(base.Outcomes(), arm.Outcomes())
+	if p.Cells != 5 || p.Flips != 2 || p.Regressions != 1 || p.Improvements != 1 {
+		t.Fatalf("paired stats %+v", p)
+	}
+	if p.FlipRate != 2.0/5 || p.Agreement != 2.0/5 {
+		t.Fatalf("paired rates %+v", p)
+	}
+}
+
+// TestComparePairMatchesCrossRuntime is the equivalence that lets the
+// experiments API subsume the old ad-hoc runtime sweeps: for two
+// single-runtime arms over the same cells, the paired flip count equals the
+// CrossRuntime attribution of the two accumulators merged, and the paired
+// cell count equals its group denominator.
+func TestComparePairMatchesCrossRuntime(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := NewAccumulator()
+	arm := NewAccumulator()
+	merged := NewAccumulator()
+	for item := 0; item < 40; item++ {
+		for _, env := range []string{"phoneA/1", "phoneB/2", "phoneC/3"} {
+			// A few cells get repeat observations so mixed outcomes occur.
+			for n := 0; n < 1+rng.Intn(2); n++ {
+				rb := armRec(item, item%3, env, "float32", rng.Intn(2) == 0)
+				ra := armRec(item, item%3, env, "int8", rng.Intn(2) == 0)
+				base.Add(rb)
+				arm.Add(ra)
+				merged.Add(rb)
+				merged.Add(ra)
+			}
+		}
+	}
+	p := ComparePair(base.Outcomes(), arm.Outcomes())
+	cr := merged.Snapshot().CrossRuntime
+	if p.Cells != cr.Groups || p.Flips != cr.Unstable {
+		t.Fatalf("paired %d flips / %d cells, cross-runtime %d/%d", p.Flips, p.Cells, cr.Unstable, cr.Groups)
+	}
+}
+
+func TestAgreementMatrix(t *testing.T) {
+	a := NewAccumulator()
+	b := NewAccumulator()
+	c := NewAccumulator() // shares no cells with a or b
+	for item := 0; item < 4; item++ {
+		a.Add(armRec(item, 0, "p", "float32", true))
+		b.Add(armRec(item, 0, "p", "int8", item%2 == 0)) // agrees on 2 of 4
+		c.Add(armRec(item, 9, "q", "pruned", true))
+	}
+	rates := Agreement([]map[Cell]Outcome{a.Outcomes(), b.Outcomes(), c.Outcomes()})
+	if len(rates) != 3 {
+		t.Fatalf("matrix size %d", len(rates))
+	}
+	for i := 0; i < 3; i++ {
+		if rates[i][i] != 1 {
+			t.Fatalf("diagonal [%d][%d] = %v", i, i, rates[i][i])
+		}
+		for j := 0; j < 3; j++ {
+			if rates[i][j] != rates[j][i] {
+				t.Fatalf("asymmetric at [%d][%d]", i, j)
+			}
+		}
+	}
+	if rates[0][1] != 0.5 {
+		t.Fatalf("a/b agreement %v, want 0.5", rates[0][1])
+	}
+	if rates[0][2] != 0 || rates[1][2] != 0 {
+		t.Fatalf("disjoint arms agreement %v %v, want 0", rates[0][2], rates[1][2])
+	}
+
+	if empty := Agreement(nil); len(empty) != 0 {
+		t.Fatalf("empty matrix %v", empty)
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Record the fleet hot-path benchmarks into BENCH_fleet.json so the perf
+# trajectory is tracked PR over PR: runs BenchmarkFleetCapture and
+# BenchmarkCodecRoundtrip (the two levers the ROADMAP's hot-path item is
+# measured by) and appends one dated, commit-stamped entry per invocation.
+#
+#   ./scripts/bench_baseline.sh [out.json]
+#
+# BENCH_COUNT=N averages over N benchmark runs (default 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_fleet.json}"
+COUNT="${BENCH_COUNT:-1}"
+RAW="$(mktemp)"
+
+go test -run='^$' -bench='^(BenchmarkFleetCapture|BenchmarkCodecRoundtrip)$' \
+  -benchmem -count "$COUNT" ./internal/fleet | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'PY'
+import datetime, json, os, subprocess, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+
+# Benchmark lines are "Name-P  iters  v unit  v unit ...": collect every
+# value/unit pair, averaging across -count repetitions of the same name.
+sums, counts = {}, {}
+for line in open(raw):
+    parts = line.split()
+    if not parts or not parts[0].startswith("Benchmark"):
+        continue
+    name = parts[0].rsplit("-", 1)[0]
+    vals = parts[2:]
+    metrics = {}
+    for v, u in zip(vals[0::2], vals[1::2]):
+        try:
+            metrics[u] = float(v)
+        except ValueError:
+            pass
+    if not metrics:
+        continue
+    agg = sums.setdefault(name, {})
+    counts[name] = counts.get(name, 0) + 1
+    for u, v in metrics.items():
+        agg[u] = agg.get(u, 0.0) + v
+
+if not sums:
+    sys.exit("no benchmark lines parsed from " + raw)
+
+def cmd(*args):
+    try:
+        return subprocess.check_output(args, text=True).strip()
+    except Exception:
+        return "unknown"
+
+entry = {
+    "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "commit": cmd("git", "rev-parse", "--short", "HEAD"),
+    "go": cmd("go", "env", "GOVERSION"),
+    "goos": cmd("go", "env", "GOOS"),
+    "goarch": cmd("go", "env", "GOARCH"),
+    "count": max(counts.values()),
+    "benchmarks": {
+        name: {u: v / counts[name] for u, v in agg.items()}
+        for name, agg in sorted(sums.items())
+    },
+}
+
+history = []
+if os.path.exists(out):
+    with open(out) as f:
+        history = json.load(f)
+history.append(entry)
+with open(out, "w") as f:
+    json.dump(history, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("recorded %s -> %s" % (", ".join(sorted(sums)), out))
+PY

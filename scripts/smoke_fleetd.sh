@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-test the fleetd /v1 API end to end: boot one worker and one
 # coordinator (sharing a model snapshot so the worker trains it once),
-# create a run through the coordinator, wait for it, and check the stats
-# and legacy endpoints answer. Used by CI and runnable locally:
+# create a run through the coordinator, wait for it, check the stats and
+# legacy endpoints answer, then drive a 2-arm experiment (runtime sweep)
+# through the coordinator and check its paired report. Used by CI and
+# runnable locally:
 #
 #   ./scripts/smoke_fleetd.sh [bin]
 set -euo pipefail
@@ -92,6 +94,45 @@ curl -fsS "$BASE/stats" >/dev/null
 curl -fsS "$BASE/runs" >/dev/null
 curl -fsS "$BASE/runs/$RUN_ID" >/dev/null
 echo "legacy ok"
+
+echo "== experiment (2-arm runtime sweep through the coordinator)"
+curl -fsS -X POST "$BASE/v1/experiments" \
+  -d '{"base":{"devices":20,"items":1,"angles":[0],"seed":3,"workers":2},"axes":{"runtime":["float32","int8"]}}' \
+  | tee "$WORKDIR/experiment.json"
+EXP_ID=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORKDIR/experiment.json")
+
+echo "== wait for experiment $EXP_ID"
+STATE=running
+for _ in $(seq 1 180); do
+  STATE=$(curl -fsS "$BASE/v1/experiments/$EXP_ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])') || {
+    echo "experiment status poll failed" >&2
+    tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+    exit 1
+  }
+  [ "$STATE" != running ] && break
+  sleep 1
+done
+if [ "$STATE" != done ]; then
+  echo "experiment ended in state $STATE" >&2
+  curl -sS "$BASE/v1/experiments/$EXP_ID" >&2 || true
+  tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+  exit 1
+fi
+
+echo "== experiment report"
+curl -fsS "$BASE/v1/experiments/$EXP_ID/report" | python3 -c '
+import json, sys
+rep = json.load(sys.stdin)
+arms = rep["arms"]
+assert len(arms) == 2, arms
+assert arms[0]["baseline"] and arms[0]["name"] == "runtime=float32", arms[0]
+paired = arms[1]["paired"]
+assert paired["cells"] == 20, paired
+assert paired["flips"] == paired["regressions"] + paired["improvements"], paired
+rates = rep["agreement"]["rates"]
+assert len(rates) == 2 and len(rates[0]) == 2 and rates[0][1] == rates[1][0], rates
+print("report ok: %d/%d cells flip float32->int8" % (paired["flips"], paired["cells"]))
+'
 
 echo "== graceful shutdown"
 kill -TERM "$COORD_PID"
