@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestCaptureSweepByteIdenticalAcrossWorkers is the cheap-but-strong check
+// on the kernel rewrites: a full 30-device capture sweep (sensor mosaic →
+// fused ISP with the split blur/median/demosaic kernels → native codec →
+// OS decode) must produce byte-identical pixels however the pool schedules
+// it. Per-kernel bit-identity against the pre-rewrite reference loops lives
+// next to each kernel (sensor/fused_test.go, isp/demosaic_ref_test.go,
+// imaging/filter_ref_test.go, nn/quantize_ref_test.go); this test wires the
+// layers together at fleet scale.
+func TestCaptureSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	const (
+		devices = 30
+		items   = 2
+		angles  = 3
+	)
+	its := dataset.GenerateHard(items, 3).Items
+	gen := NewGenerator(11, 2, 64)
+	devs := make([]*Device, devices)
+	for i := range devs {
+		devs[i] = gen.Device(i)
+	}
+
+	sweep := func(workers int) [][32]byte {
+		engine := NewEngine(11, 0, 0)
+		for _, it := range its {
+			for a := 0; a < angles; a++ {
+				engine.Displayed(it, a)
+			}
+		}
+		digests := make([][32]byte, devices*items*angles)
+		NewPool(workers).Run(len(digests), func(i int) {
+			d := devs[i/(items*angles)]
+			it := its[(i/angles)%items]
+			angle := i % angles
+			img, size := engine.Capture(d, it, angle)
+			buf := img.ToBytes()
+			buf = append(buf, byte(size), byte(size>>8), byte(size>>16))
+			digests[i] = sha256.Sum256(buf)
+		})
+		return digests
+	}
+
+	base := sweep(1)
+	for _, workers := range []int{4, 16} {
+		got := sweep(workers)
+		for i := range base {
+			if !bytes.Equal(base[i][:], got[i][:]) {
+				t.Fatalf("workers=%d: capture cell %d diverged from workers=1", workers, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package fmath holds the tiny float helpers the image/DSP kernels share:
+// absolute value and clamping for float32 samples. Every kernel package
+// (isp, imaging, nn) used to carry its own copy; the hot-path kernels all
+// funnel through these so the compiler inlines one definition everywhere.
+package fmath
+
+// Abs returns |v| for float32 without the float64 round trip of math.Abs.
+func Abs(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Clamp01 clips v to [0,1], the normalized range every image plane uses.
+func Clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

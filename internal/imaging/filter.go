@@ -34,27 +34,60 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	}
 
 	n := im.W * im.H
+	w, h := im.W, im.H
 	tmpBuf := blurScratch.Get().(*[]float32)
 	if cap(*tmpBuf) < 3*n {
 		*tmpBuf = make([]float32, 3*n)
 	}
 	tmpPix := (*tmpBuf)[:3*n]
 	defer blurScratch.Put(tmpBuf)
-	out := New(im.W, im.H)
+	out := New(w, h)
+	// Both passes split a clamp-free interior from the clamped borders: the
+	// taps accumulate in the same ascending-k order either way, so the split
+	// is invisible in the output. The interior drops the per-tap clamp (and
+	// the vertical pass's per-tap row multiply), which is most of the work
+	// at fleet capture sizes.
+	kn := len(kernel)
 	// horizontal pass
 	for p := 0; p < 3; p++ {
 		src := im.Pix[p*n:]
 		dst := tmpPix[p*n:]
-		for y := 0; y < im.H; y++ {
-			row := src[y*im.W : (y+1)*im.W]
-			drow := dst[y*im.W : (y+1)*im.W]
-			for x := 0; x < im.W; x++ {
-				var s float32
-				for k := -radius; k <= radius; k++ {
-					xx := clampInt(x+k, 0, im.W-1)
-					s += row[xx] * kernel[k+radius]
+		for y := 0; y < h; y++ {
+			row := src[y*w : (y+1)*w]
+			drow := dst[y*w : (y+1)*w]
+			x := 0
+			for ; x < radius && x < w; x++ {
+				drow[x] = blurTapClamped(row, kernel, x, radius, w)
+			}
+			// The fleet's lens PSFs and unsharp sigmas land on radius 2 or
+			// 3; unrolling those taps with the kernel in registers keeps
+			// the exact left-to-right accumulation order of the loop.
+			switch kn {
+			case 5:
+				k0, k1, k2, k3, k4 := kernel[0], kernel[1], kernel[2], kernel[3], kernel[4]
+				for ; x < w-radius; x++ {
+					b := x - 2
+					drow[x] = row[b]*k0 + row[b+1]*k1 + row[b+2]*k2 + row[b+3]*k3 + row[b+4]*k4
 				}
-				drow[x] = s
+			case 7:
+				k0, k1, k2, k3, k4, k5, k6 := kernel[0], kernel[1], kernel[2], kernel[3], kernel[4], kernel[5], kernel[6]
+				for ; x < w-radius; x++ {
+					b := x - 3
+					drow[x] = row[b]*k0 + row[b+1]*k1 + row[b+2]*k2 + row[b+3]*k3 +
+						row[b+4]*k4 + row[b+5]*k5 + row[b+6]*k6
+				}
+			default:
+				for ; x < w-radius; x++ {
+					var s float32
+					base := x - radius
+					for k := 0; k < kn; k++ {
+						s += row[base+k] * kernel[k]
+					}
+					drow[x] = s
+				}
+			}
+			for ; x < w; x++ {
+				drow[x] = blurTapClamped(row, kernel, x, radius, w)
 			}
 		}
 	}
@@ -62,18 +95,69 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	for p := 0; p < 3; p++ {
 		src := tmpPix[p*n:]
 		dst := out.Pix[p*n:]
-		for y := 0; y < im.H; y++ {
-			for x := 0; x < im.W; x++ {
-				var s float32
-				for k := -radius; k <= radius; k++ {
-					yy := clampInt(y+k, 0, im.H-1)
-					s += src[yy*im.W+x] * kernel[k+radius]
+		y := 0
+		for ; y < radius && y < h; y++ {
+			blurRowClamped(dst[y*w:(y+1)*w], src, kernel, y, radius, w, h)
+		}
+		for ; y < h-radius; y++ {
+			drow := dst[y*w : (y+1)*w]
+			base := (y - radius) * w
+			switch kn {
+			case 5:
+				k0, k1, k2, k3, k4 := kernel[0], kernel[1], kernel[2], kernel[3], kernel[4]
+				r0, r1, r2, r3, r4 := src[base:base+w], src[base+w:base+2*w], src[base+2*w:base+3*w], src[base+3*w:base+4*w], src[base+4*w:base+5*w]
+				for x := 0; x < w; x++ {
+					drow[x] = r0[x]*k0 + r1[x]*k1 + r2[x]*k2 + r3[x]*k3 + r4[x]*k4
 				}
-				dst[y*im.W+x] = s
+			case 7:
+				k0, k1, k2, k3, k4, k5, k6 := kernel[0], kernel[1], kernel[2], kernel[3], kernel[4], kernel[5], kernel[6]
+				r0, r1, r2, r3 := src[base:base+w], src[base+w:base+2*w], src[base+2*w:base+3*w], src[base+3*w:base+4*w]
+				r4, r5, r6 := src[base+4*w:base+5*w], src[base+5*w:base+6*w], src[base+6*w:base+7*w]
+				for x := 0; x < w; x++ {
+					drow[x] = r0[x]*k0 + r1[x]*k1 + r2[x]*k2 + r3[x]*k3 +
+						r4[x]*k4 + r5[x]*k5 + r6[x]*k6
+				}
+			default:
+				for x := 0; x < w; x++ {
+					var s float32
+					idx := base + x
+					for k := 0; k < kn; k++ {
+						s += src[idx] * kernel[k]
+						idx += w
+					}
+					drow[x] = s
+				}
 			}
+		}
+		for ; y < h; y++ {
+			blurRowClamped(dst[y*w:(y+1)*w], src, kernel, y, radius, w, h)
 		}
 	}
 	return out
+}
+
+// blurTapClamped is the original edge-clamped horizontal tap loop for one
+// output sample.
+func blurTapClamped(row, kernel []float32, x, radius, w int) float32 {
+	var s float32
+	for k := -radius; k <= radius; k++ {
+		xx := clampInt(x+k, 0, w-1)
+		s += row[xx] * kernel[k+radius]
+	}
+	return s
+}
+
+// blurRowClamped is the original edge-clamped vertical tap loop for one
+// output row.
+func blurRowClamped(drow, src, kernel []float32, y, radius, w, h int) {
+	for x := 0; x < w; x++ {
+		var s float32
+		for k := -radius; k <= radius; k++ {
+			yy := clampInt(y+k, 0, h-1)
+			s += src[yy*w+x] * kernel[k+radius]
+		}
+		drow[x] = s
+	}
 }
 
 // BoxBlur applies an r-radius box filter, the cheap denoiser used by some
@@ -160,33 +244,70 @@ func MedianDenoise3(im *Image) *Image {
 }
 
 // median9 returns the median of 9 values with a branch-light sorting
-// network (Paeth's 19-exchange network; Graphics Gems).
+// network (Paeth's 19-exchange network; Graphics Gems). The exchanges
+// operate on locals so the whole window lives in registers; the network —
+// and therefore the selected median — is identical to the pointer-based
+// original.
 func median9(p [9]float32) float32 {
-	s2 := func(a, b *float32) {
-		if *a > *b {
-			*a, *b = *b, *a
-		}
+	p0, p1, p2, p3, p4, p5, p6, p7, p8 := p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7], p[8]
+	if p1 > p2 {
+		p1, p2 = p2, p1
 	}
-	s2(&p[1], &p[2])
-	s2(&p[4], &p[5])
-	s2(&p[7], &p[8])
-	s2(&p[0], &p[1])
-	s2(&p[3], &p[4])
-	s2(&p[6], &p[7])
-	s2(&p[1], &p[2])
-	s2(&p[4], &p[5])
-	s2(&p[7], &p[8])
-	s2(&p[0], &p[3])
-	s2(&p[5], &p[8])
-	s2(&p[4], &p[7])
-	s2(&p[3], &p[6])
-	s2(&p[1], &p[4])
-	s2(&p[2], &p[5])
-	s2(&p[4], &p[7])
-	s2(&p[4], &p[2])
-	s2(&p[6], &p[4])
-	s2(&p[4], &p[2])
-	return p[4]
+	if p4 > p5 {
+		p4, p5 = p5, p4
+	}
+	if p7 > p8 {
+		p7, p8 = p8, p7
+	}
+	if p0 > p1 {
+		p0, p1 = p1, p0
+	}
+	if p3 > p4 {
+		p3, p4 = p4, p3
+	}
+	if p6 > p7 {
+		p6, p7 = p7, p6
+	}
+	if p1 > p2 {
+		p1, p2 = p2, p1
+	}
+	if p4 > p5 {
+		p4, p5 = p5, p4
+	}
+	if p7 > p8 {
+		p7, p8 = p8, p7
+	}
+	if p0 > p3 {
+		p0, p3 = p3, p0
+	}
+	if p5 > p8 {
+		p5, p8 = p8, p5
+	}
+	if p4 > p7 {
+		p4, p7 = p7, p4
+	}
+	if p3 > p6 {
+		p3, p6 = p6, p3
+	}
+	if p1 > p4 {
+		p1, p4 = p4, p1
+	}
+	if p2 > p5 {
+		p2, p5 = p5, p2
+	}
+	if p4 > p7 {
+		p4, p7 = p7, p4
+	}
+	if p4 > p2 {
+		p4, p2 = p2, p4
+	}
+	if p6 > p4 {
+		p6, p4 = p4, p6
+	}
+	if p4 > p2 {
+		p4, p2 = p2, p4
+	}
+	return p4
 }
 
 func clampInt(v, lo, hi int) int {

@@ -1,0 +1,41 @@
+package isp
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/sensor"
+)
+
+// BenchmarkDemosaic measures both interpolation kernels in isolation at the
+// fleet capture resolution (32×32, the model input size) and at the rig's
+// full 64×64, so interior-loop regressions are attributable to this layer.
+func BenchmarkDemosaic(b *testing.B) {
+	for _, sz := range []int{32, 64} {
+		scene := imaging.New(sz, sz)
+		prng := rand.New(rand.NewSource(2))
+		for i := range scene.Pix {
+			scene.Pix[i] = prng.Float32()
+		}
+		p := sensor.DefaultParams()
+		p.BlurSigma = 0
+		raw := sensor.New(p).Capture(scene, rand.New(rand.NewSource(3)))
+		for _, tc := range []struct {
+			name string
+			algo DemosaicAlgorithm
+		}{
+			{"bilinear", DemosaicBilinear},
+			{"edge", DemosaicEdgeAware},
+		} {
+			b.Run(tc.name+"/"+strconv.Itoa(sz), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = Demosaic(raw, tc.algo)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+			})
+		}
+	}
+}

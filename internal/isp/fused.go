@@ -3,6 +3,7 @@ package isp
 import (
 	"math"
 
+	"repro/internal/fmath"
 	"repro/internal/imaging"
 	"repro/internal/sensor"
 )
@@ -109,11 +110,11 @@ func Fuse(p *Pipeline) *Fused {
 			pushMatrix(s.M)
 		case Gamma:
 			if s.SRGB {
-				pushCurve(func(v float32) float32 { return srgbEncode(clamp01(v)) })
+				pushCurve(func(v float32) float32 { return srgbEncode(fmath.Clamp01(v)) })
 			} else {
 				invG := 1 / s.G
 				pushCurve(func(v float32) float32 {
-					return float32(math.Pow(float64(clamp01(v)), invG))
+					return float32(math.Pow(float64(fmath.Clamp01(v)), invG))
 				})
 			}
 		case ToneCurve:
@@ -122,11 +123,11 @@ func Fuse(p *Pipeline) *Fused {
 			}
 			k := s.Strength
 			pushCurve(func(v float32) float32 {
-				x := float64(clamp01(v))
+				x := float64(fmath.Clamp01(v))
 				return float32(x + k*(x*x*(3-2*x)-x))
 			})
 		case ClampStage:
-			pushCurve(func(v float32) float32 { return clamp01(v) })
+			pushCurve(func(v float32) float32 { return fmath.Clamp01(v) })
 		case Sharpen:
 			flushAll()
 			f.ops = append(f.ops, fusedOp{sharpen: &s})
@@ -182,7 +183,7 @@ func lutIsClamp(lut []float32) bool {
 	step := lutMaxU / float64(lutSize-1)
 	for j, got := range lut {
 		u := float64(j) * step
-		if got != clamp01(float32(u*u)) {
+		if got != fmath.Clamp01(float32(u*u)) {
 			return false
 		}
 	}
@@ -232,7 +233,7 @@ func (f *Fused) run(im *imaging.Image) *imaging.Image {
 			applyMatrix(im, op.matrix)
 		case op.clamp:
 			for i, v := range im.Pix {
-				im.Pix[i] = clamp01(v)
+				im.Pix[i] = fmath.Clamp01(v)
 			}
 		default:
 			applyLUT(im.Pix, op.lut)

@@ -3,6 +3,7 @@ package isp
 import (
 	"math"
 
+	"repro/internal/fmath"
 	"repro/internal/imaging"
 )
 
@@ -165,7 +166,7 @@ func (s ToneCurve) Apply(im *imaging.Image) *imaging.Image {
 	}
 	k := s.Strength
 	for i, v := range out.Pix {
-		x := float64(clamp01(v))
+		x := float64(fmath.Clamp01(v))
 		// Blend x with a smoothstep-style sigmoid.
 		sig := x + k*(x*x*(3-2*x)-x)
 		out.Pix[i] = float32(sig)
@@ -212,13 +213,3 @@ func (ClampStage) Name() string { return "clamp" }
 
 // Apply implements Stage.
 func (ClampStage) Apply(im *imaging.Image) *imaging.Image { return im.Clone().Clamp() }
-
-func clamp01(v float32) float32 {
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
-}

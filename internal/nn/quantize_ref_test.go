@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// This file keeps the pre-blocking scalar int8 kernels as references: the
+// register-blocked qgemm/qgemv/depthwise kernels must reproduce them bit for
+// bit (int32 accumulation is exact, so any difference is a bug, not noise).
+
+// refQConvForward is the original per-output-pixel scalar loop of
+// qconv.forward.
+func refQConvForward(l *qconv, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	d := l.dims
+	d.InH, d.InW = x.Dim(2), x.Dim(3)
+	outH, outW := d.OutH(), d.OutW()
+	p := outH * outW
+	k := d.InC * d.KH * d.KW
+	y := tensor.New(n, l.outC, outH, outW)
+	imgIn := d.InC * d.InH * d.InW
+	colF := make([]float32, p*k)
+	colQ := make([]int8, p*k)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col(colF, x.Data()[i*imgIn:(i+1)*imgIn], d)
+		ax := absMaxScale(colF)
+		quantizeTo(colQ, colF, ax)
+		dst := y.Data()[i*l.outC*p:]
+		for c := 0; c < l.outC; c++ {
+			wrow := l.w[c*k : (c+1)*k]
+			deq := l.ws[c] * ax
+			bias := l.bias[c]
+			out := dst[c*p : (c+1)*p]
+			for pi := 0; pi < p; pi++ {
+				crow := colQ[pi*k : (pi+1)*k]
+				var acc int32
+				for j, wv := range wrow {
+					acc += int32(wv) * int32(crow[j])
+				}
+				v := float32(acc)*deq + bias
+				if l.relu6 {
+					if v < 0 {
+						v = 0
+					} else if v > 6 {
+						v = 6
+					}
+				}
+				out[pi] = v
+			}
+		}
+	}
+	return y
+}
+
+// refQDepthwiseForward is the original bounds-checked per-pixel depthwise
+// loop of qdepthwise.forward.
+func refQDepthwiseForward(l *qdepthwise, x *tensor.Tensor) *tensor.Tensor {
+	n, inH, inW := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (inH+2*l.pad-l.kh)/l.stride + 1
+	outW := (inW+2*l.pad-l.kw)/l.stride + 1
+	y := tensor.New(n, l.ch, outH, outW)
+	imgIn := l.ch * inH * inW
+	imgOut := l.ch * outH * outW
+	qplane := make([]int8, inH*inW)
+	for i := 0; i < n; i++ {
+		src := x.Data()[i*imgIn:]
+		dst := y.Data()[i*imgOut:]
+		for c := 0; c < l.ch; c++ {
+			plane := src[c*inH*inW : (c+1)*inH*inW]
+			ax := absMaxScale(plane)
+			quantizeTo(qplane, plane, ax)
+			ker := l.w[c*l.kh*l.kw : (c+1)*l.kh*l.kw]
+			deq := l.ws[c] * ax
+			bias := l.bias[c]
+			out := dst[c*outH*outW : (c+1)*outH*outW]
+			idx := 0
+			for oy := 0; oy < outH; oy++ {
+				iy0 := oy*l.stride - l.pad
+				for ox := 0; ox < outW; ox++ {
+					ix0 := ox*l.stride - l.pad
+					var acc int32
+					for ky := 0; ky < l.kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						row := qplane[iy*inW:]
+						kr := ker[ky*l.kw:]
+						for kx := 0; kx < l.kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < inW {
+								acc += int32(row[ix]) * int32(kr[kx])
+							}
+						}
+					}
+					v := float32(acc)*deq + bias
+					if l.relu6 {
+						if v < 0 {
+							v = 0
+						} else if v > 6 {
+							v = 6
+						}
+					}
+					out[idx] = v
+					idx++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// refQDenseApply is the original scalar dense loop of qdense.apply.
+func refQDenseApply(l *qdense, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, l.out)
+	qrow := make([]int8, l.in)
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*l.in : (i+1)*l.in]
+		ax := absMaxScale(row)
+		quantizeTo(qrow, row, ax)
+		out := y.Data()[i*l.out : (i+1)*l.out]
+		for o := 0; o < l.out; o++ {
+			wrow := l.w[o*l.in : (o+1)*l.in]
+			var acc int32
+			for j, wv := range wrow {
+				acc += int32(wv) * int32(qrow[j])
+			}
+			v := float32(acc)*(l.ws[o]*ax) + l.bias[o]
+			if l.relu && v < 0 {
+				v = 0
+			}
+			out[o] = v
+		}
+	}
+	return y
+}
+
+// quantTestModel builds a weight-deterministic micro model with non-trivial
+// BatchNorm statistics so folding paths are exercised.
+func quantTestModel(seed int64, inputHW int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := ModelConfig{InputHW: inputHW, Classes: 5, EmbedDim: 16, Width: 0.5}
+	m := NewMobileNetV2Micro(rng, cfg)
+	for _, l := range collectBN(m.Backbone) {
+		for c := range l.RunningMean {
+			l.RunningMean[c] = float32(rng.NormFloat64() * 0.2)
+			l.RunningVar[c] = float32(0.5 + rng.Float64())
+		}
+	}
+	return m
+}
+
+func randInput(rng *rand.Rand, n, c, hw int) *tensor.Tensor {
+	x := tensor.New(n, c, hw, hw)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.Float64())
+	}
+	return x
+}
+
+func sameBits(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: length %d want %d", name, got.Len(), want.Len())
+	}
+	for i, v := range got.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("%s: element %d = %v, reference %v", name, i, v, want.Data()[i])
+		}
+	}
+}
+
+// TestBlockedKernelsMatchScalarReference walks the full quantized graph op
+// by op, running the blocked kernel and the pre-blocking scalar reference on
+// identical inputs: every output element must match bit for bit. Odd batch
+// and channel counts exercise the remainder paths of the 4×2 tile.
+func TestBlockedKernelsMatchScalarReference(t *testing.T) {
+	for _, hw := range []int{15, 32} {
+		m := quantTestModel(11, hw)
+		b := NewInt8Backend(m)
+		rng := rand.New(rand.NewSource(13))
+		for _, n := range []int{1, 3} {
+			x := randInput(rng, n, 3, hw)
+			var walk func(ops []qop, x *tensor.Tensor) *tensor.Tensor
+			walk = func(ops []qop, x *tensor.Tensor) *tensor.Tensor {
+				for oi, op := range ops {
+					var want *tensor.Tensor
+					switch l := op.(type) {
+					case *qconv:
+						want = refQConvForward(l, x)
+					case *qdepthwise:
+						want = refQDepthwiseForward(l, x)
+					case *qresidual:
+						inner := walk(l.body, x)
+						want = inner.Clone()
+						want.AddScaled(1, x)
+					case *qpool:
+						want = nil // float op, unchanged
+					}
+					got := op.forward(b, x)
+					if want != nil {
+						sameBits(t, nameOf(op, oi), got, want)
+					}
+					x = got
+				}
+				return x
+			}
+			x = walk(b.ops, x)
+			e := b.embed.apply(b, x)
+			sameBits(t, "embed", e, refQDenseApply(b.embed, x))
+			z := b.head.apply(b, e)
+			sameBits(t, "head", z, refQDenseApply(b.head, e))
+		}
+	}
+}
+
+func nameOf(op qop, i int) string {
+	switch op.(type) {
+	case *qconv:
+		return "qconv"
+	case *qdepthwise:
+		return "qdepthwise"
+	case *qresidual:
+		return "qresidual"
+	default:
+		return "qop"
+	}
+}
+
+// TestQGemmRemainderPaths hits the kernel's edge tiles directly: channel
+// counts 1..5 over odd pixel counts, against the scalar triple loop.
+func TestQGemmRemainderPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, outC := range []int{1, 2, 3, 4, 5, 8} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			for _, k := range []int{1, 5, 27} {
+				w := make([]int8, outC*k)
+				col := make([]int8, p*k)
+				for i := range w {
+					w[i] = int8(rng.Intn(255) - 127)
+				}
+				for i := range col {
+					col[i] = int8(rng.Intn(255) - 127)
+				}
+				ws := make([]float32, outC)
+				bias := make([]float32, outC)
+				for i := range ws {
+					ws[i] = float32(rng.Float64()*0.01 + 1e-4)
+					bias[i] = float32(rng.NormFloat64())
+				}
+				ax := float32(0.003)
+				got := make([]float32, outC*p)
+				want := make([]float32, outC*p)
+				qgemm(got, w, col, outC, p, k, ws, ax, bias, true)
+				for c := 0; c < outC; c++ {
+					for pi := 0; pi < p; pi++ {
+						var acc int32
+						for j := 0; j < k; j++ {
+							acc += int32(w[c*k+j]) * int32(col[pi*k+j])
+						}
+						v := float32(acc)*(ws[c]*ax) + bias[c]
+						if v < 0 {
+							v = 0
+						} else if v > 6 {
+							v = 6
+						}
+						want[c*p+pi] = v
+					}
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("outC=%d p=%d k=%d: element %d = %v want %v", outC, p, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransposeQuantizeMatchesIm2ColQuantize pins the fused 1×1 panel
+// quantization to the im2col + quantizeTo pair it replaces.
+func TestTransposeQuantizeMatchesIm2ColQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k, h, w := 5, 6, 7
+	p := h * w
+	src := make([]float32, k*p)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	d := tensor.ConvDims{InC: k, InH: h, InW: w, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	colF := make([]float32, p*k)
+	tensor.Im2Col(colF, src, d)
+	axRef := absMaxScale(colF)
+	ax := absMaxScale(src)
+	if ax != axRef {
+		t.Fatalf("activation scale diverged: %v vs %v", ax, axRef)
+	}
+	want := make([]int8, p*k)
+	quantizeTo(want, colF, axRef)
+	got := make([]int8, p*k)
+	transposeQuantize(got, src, p, k, ax)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("panel byte %d = %d want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -94,6 +94,73 @@ func referenceCapture(s *Sensor, scene *imaging.Image, rng *rand.Rand) *RawImage
 // TestCaptureMatchesStagedReference pins the fused optics loop to the
 // staged pipeline across parameter corners (no blur, no shift, no
 // vignette, all enabled) and patterns.
+// TestCaptureSweepMatchesReference fuzzes the kernel-selection space: 30
+// random parameter draws (device-synthesis-like jitter, with each of CA /
+// vignette / noise forced to zero on a rotating schedule) over odd and even
+// frame sizes, all pinned bit for bit to the staged reference.
+func TestCaptureSweepMatchesReference(t *testing.T) {
+	prng := rand.New(rand.NewSource(9))
+	sizes := [][2]int{{24, 20}, {17, 13}, {32, 32}}
+	for d := 0; d < 30; d++ {
+		p := Params{
+			BlurSigma:      prng.Float64() * 0.8,
+			Vignette:       prng.Float64() * 0.3,
+			ChromaticShift: (prng.Float64() - 0.5) * 0.8,
+			GainR:          0.95 + prng.Float64()*0.1,
+			GainG:          0.95 + prng.Float64()*0.1,
+			GainB:          0.95 + prng.Float64()*0.1,
+			Exposure:       0.9 + prng.Float64()*0.2,
+			ShotNoise:      prng.Float64() * 0.03,
+			ReadNoise:      prng.Float64() * 0.012,
+			BitDepth:       10 + 2*(d%2),
+		}
+		switch d % 5 {
+		case 1:
+			p.ChromaticShift = 0
+		case 2:
+			p.Vignette = 0
+		case 3:
+			p.ShotNoise, p.ReadNoise = 0, 0
+		case 4:
+			p.ChromaticShift, p.Vignette, p.ShotNoise, p.ReadNoise, p.BlurSigma = 0, 0, 0, 0, 0
+		}
+		sz := sizes[d%len(sizes)]
+		scene := imaging.New(sz[0], sz[1])
+		for i := range scene.Pix {
+			scene.Pix[i] = prng.Float32()
+		}
+		s := New(p)
+		s.Pattern = BayerPattern(d % 3)
+		got := s.Capture(scene, rand.New(rand.NewSource(int64(100+d))))
+		want := referenceCapture(s, scene, rand.New(rand.NewSource(int64(100+d))))
+		for i := range want.Plane {
+			if got.Plane[i] != want.Plane[i] {
+				t.Fatalf("draw %d: sample %d = %v, reference %v (params %+v)", d, i, got.Plane[i], want.Plane[i], p)
+			}
+		}
+	}
+}
+
+// TestCapturePreservesRNGStream pins the draw count: a noiseless capture
+// must consume exactly as many rng draws as a noisy one, so callers that
+// reuse one rng across captures stay aligned.
+func TestCapturePreservesRNGStream(t *testing.T) {
+	scene := imaging.New(8, 6)
+	for i := range scene.Pix {
+		scene.Pix[i] = 0.5
+	}
+	noisy := DefaultParams()
+	quiet := DefaultParams()
+	quiet.ShotNoise, quiet.ReadNoise = 0, 0
+	a := rand.New(rand.NewSource(3))
+	b := rand.New(rand.NewSource(3))
+	New(noisy).Capture(scene, a)
+	New(quiet).Capture(scene, b)
+	if av, bv := a.Int63(), b.Int63(); av != bv {
+		t.Fatalf("rng streams diverged after capture: %d vs %d", av, bv)
+	}
+}
+
 func TestCaptureMatchesStagedReference(t *testing.T) {
 	scene := imaging.New(24, 20)
 	srng := rand.New(rand.NewSource(4))

@@ -8,6 +8,7 @@ package sensor
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/imaging"
 )
@@ -94,8 +95,34 @@ type Sensor struct {
 // New returns a sensor with the given parameters and an RGGB mosaic.
 func New(p Params) *Sensor { return &Sensor{Params: p, Pattern: RGGB} }
 
+// captureScratch holds the per-capture row buffers. Sensors are stateless
+// and may be shared across workers, so the scratch lives in a pool rather
+// than on the Sensor; every buffer is fully rewritten before it is read, so
+// reuse cannot leak state between captures.
+type captureScratch struct {
+	dx2 []float64 // (x-cx)² per column, shared by every row's vignette
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(captureScratch) }}
+
+func (s *captureScratch) grow(w int) {
+	if cap(s.dx2) < w {
+		s.dx2 = make([]float64, w)
+	}
+	s.dx2 = s.dx2[:w]
+}
+
 // Capture exposes the sensor to a scene and returns the raw Bayer frame.
 // The scene is the irradiance arriving at the lens (linear RGB in [0,1]).
+//
+// The mosaic loop stays fused — one pass per pixel, Gaussian draws consumed
+// inline in shot-then-read order — because that measured fastest: batching
+// the draws into a scratch row (tried here first) costs an extra 16 B/pixel
+// round trip through L1 with no vectorization payoff to amortize it, ~10%
+// end to end. What is hoisted instead: the vignette's dy² per row and dx²
+// per column, and clamp-free interior chromatic-aberration sampling via
+// caSampleFast. Every remaining operation matches the staged reference in
+// fused_test.go bit for bit.
 func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 	p := s.Params
 	img := scene
@@ -103,20 +130,18 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 	// Optics: lens blur as a full-image pass; the lateral chromatic
 	// aberration and vignette are folded into the mosaic sampling below
 	// (each Bayer sample needs exactly one channel, so resampling and
-	// scaling whole planes first would be wasted work). The fused
-	// arithmetic matches the former chromaticShift/applyVignette passes
-	// operation for operation, so captures are bit-identical.
+	// scaling whole planes first would be wasted work).
 	if p.BlurSigma > 0 {
 		img = imaging.GaussianBlur(img, p.BlurSigma)
 	}
 
-	// Sample the mosaic with spectral gains, exposure, and noise.
-	raw := &RawImage{W: img.W, H: img.H, Pattern: s.Pattern, Plane: make([]float32, img.W*img.H), Bits: p.BitDepth}
+	w, h := img.W, img.H
+	n := w * h
+	raw := &RawImage{W: w, H: h, Pattern: s.Pattern, Plane: make([]float32, n), Bits: p.BitDepth}
 	gains := [3]float64{p.GainR * p.Exposure, p.GainG * p.Exposure, p.GainB * p.Exposure}
-	n := img.W * img.H
 	levels := float64(int(1)<<p.BitDepth - 1)
 	// The Bayer color only depends on pixel parity; a 2×2 table replaces a
-	// per-pixel pattern switch in this innermost loop.
+	// per-pixel pattern switch.
 	var ctab [2][2]int
 	for y := 0; y < 2; y++ {
 		for x := 0; x < 2; x++ {
@@ -124,51 +149,122 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 		}
 	}
 	shift := float32(p.ChromaticShift)
-	cx := float64(img.W-1) / 2
-	cy := float64(img.H-1) / 2
+	cx := float64(w-1) / 2
+	cy := float64(h-1) / 2
 	maxR2 := cx*cx + cy*cy
-	for y := 0; y < img.H; y++ {
+
+	sc := scratchPool.Get().(*captureScratch)
+	sc.grow(w)
+	// Local slice header: the loop below interleaves function calls
+	// (NormFloat64, Sqrt, Round) with loads, and a field access would be
+	// reloaded around every call.
+	dx2 := sc.dx2
+	for x := 0; x < w; x++ {
+		dx := float64(x) - cx
+		dx2[x] = dx * dx
+	}
+	noiseless := p.ShotNoise == 0 && p.ReadNoise == 0
+	shot, read := p.ShotNoise, p.ReadNoise
+	vig := p.Vignette
+
+	pix := img.Pix
+	// Interior column ranges where the chromatic-aberration taps are
+	// provably clamp-free (±1 margin against float32 rounding of x−s near
+	// integer boundaries): there the sampler skips math.Floor and all four
+	// edge clamps while performing the identical float32 arithmetic.
+	caLoR, caHiR := caInterior(w, shift)
+	caLoB, caHiB := caInterior(w, -shift)
+	for y := 0; y < h; y++ {
 		crow := ctab[y&1]
+		rowOff := y * w
+		dst := raw.Plane[rowOff : rowOff+w]
 		dy := float64(y) - cy
-		for x := 0; x < img.W; x++ {
+		dy2 := dy * dy
+		for x := 0; x < w; x++ {
 			c := crow[x&1]
 			var sample float32
 			switch {
 			case shift != 0 && c == 0:
-				sample = caSample(img.Pix[y*img.W:(y+1)*img.W], x, img.W, shift)
+				sample = caSampleFast(pix[rowOff:rowOff+w], x, w, shift, caLoR, caHiR)
 			case shift != 0 && c == 2:
-				sample = caSample(img.Pix[2*n+y*img.W:2*n+(y+1)*img.W], x, img.W, -shift)
+				sample = caSampleFast(pix[2*n+rowOff:2*n+rowOff+w], x, w, -shift, caLoB, caHiB)
 			default:
-				sample = img.Pix[c*n+y*img.W+x]
+				sample = pix[c*n+rowOff+x]
 			}
-			if p.Vignette > 0 {
-				dx := float64(x) - cx
-				sample *= float32(1 - p.Vignette*(dx*dx+dy*dy)/maxR2)
+			if vig > 0 {
+				// dy² is hoisted per row and dx² per column; the original
+				// expression is otherwise untouched.
+				sample *= float32(1 - vig*(dx2[x]+dy2)/maxR2)
 			}
 			v := float64(sample) * gains[c]
 			if v < 0 {
 				v = 0
 			}
-			// Photon shot noise scales with sqrt(signal); read noise is
-			// signal-independent. Gaussian approximations to the Poisson
-			// and thermal processes.
-			v += rng.NormFloat64()*p.ShotNoise*math.Sqrt(v) + rng.NormFloat64()*p.ReadNoise
-			if v < 0 {
-				v = 0
-			} else if v > 1 {
-				v = 1
+			if !noiseless {
+				// Photon shot noise scales with sqrt(signal); read noise
+				// is signal-independent. Gaussian approximations to the
+				// Poisson and thermal processes. The two draws stay inline
+				// and in order — every capture consumes the same rng
+				// stream whatever the parameters.
+				v += rng.NormFloat64()*shot*math.Sqrt(v) + rng.NormFloat64()*read
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+			} else {
+				// The reference still draws the (zero-amplitude) noise so
+				// the rng stream stays aligned for callers that reuse it
+				// across captures; v ≥ 0 after the black clamp and adding
+				// the exactly-zero terms is the identity, so only the
+				// upper clamp can still fire.
+				rng.NormFloat64()
+				rng.NormFloat64()
+				if v > 1 {
+					v = 1
+				}
 			}
 			// ADC quantization.
-			v = math.Round(v*levels) / levels
-			raw.Plane[y*img.W+x] = float32(v)
+			dst[x] = float32(math.Round(v*levels) / levels)
 		}
 	}
+	scratchPool.Put(sc)
 	return raw
 }
 
+// caInterior returns the inclusive column range where floor(x−s) and its
+// right neighbour are guaranteed in [0, w−1] and x−s ≥ 0, with a ±1 safety
+// margin so float32 rounding near integer boundaries cannot cross out.
+func caInterior(w int, s float32) (lo, hi int) {
+	// A non-finite or absurd shift gets an empty interior so every column
+	// takes the clamped caSample path, which is total for any shift.
+	if !(s > -1e6 && s < 1e6) {
+		return w, -1
+	}
+	lo = int(math.Ceil(float64(s))) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi = w - 3 + int(math.Floor(float64(s)))
+	return lo, hi
+}
+
+// caSampleFast is caSample with the clamp-free interior path: inside
+// [lo, hi] the int conversion is exact truncation (== floor for
+// non-negative values) and no edge clamp can fire, so both paths perform
+// the identical float32 arithmetic per sample.
+func caSampleFast(row []float32, x, w int, s float32, lo, hi int) float32 {
+	if x >= lo && x <= hi {
+		fx := float32(x) - s
+		x0 := int(fx)
+		frac := fx - float32(x0)
+		return row[x0]*(1-frac) + row[x0+1]*frac
+	}
+	return caSample(row, x, w, s)
+}
+
 // caSample reads one plane sample displaced horizontally by s pixels with
-// bilinear interpolation and edge clamping — the per-sample form of the
-// lateral chromatic aberration shift (red right, blue left).
+// bilinear interpolation and edge clamping.
 func caSample(row []float32, x, w int, s float32) float32 {
 	fx := float32(x) - s
 	x0 := int(math.Floor(float64(fx)))

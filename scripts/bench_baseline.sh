@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
 # Record the fleet hot-path benchmarks into BENCH_fleet.json so the perf
-# trajectory is tracked PR over PR: runs BenchmarkFleetCapture and
-# BenchmarkCodecRoundtrip (the two levers the ROADMAP's hot-path item is
-# measured by) and appends one dated, commit-stamped entry per invocation.
+# trajectory is tracked PR over PR. One dated, commit-stamped entry per
+# invocation covering every layer of the capture hot path:
+#
+#   - BenchmarkFleetCapture / BenchmarkSequentialRigCapture — end to end,
+#     fleet engine vs the five-phone rig (the speedup the subsystem exists
+#     for)
+#   - BenchmarkCodecRoundtrip — the codec leg
+#   - BenchmarkBackendInfer — per-runtime inference (int8 vs float32 is the
+#     blocked-GEMM acceptance number)
+#   - BenchmarkSensorCapture — the mosaic loop per parameter combination
+#   - BenchmarkDemosaic — both interpolation kernels
 #
 #   ./scripts/bench_baseline.sh [out.json]
 #
@@ -14,8 +22,13 @@ OUT="${1:-BENCH_fleet.json}"
 COUNT="${BENCH_COUNT:-1}"
 RAW="$(mktemp)"
 
-go test -run='^$' -bench='^(BenchmarkFleetCapture|BenchmarkCodecRoundtrip)$' \
+go test -run='^$' \
+  -bench='^(BenchmarkFleetCapture|BenchmarkSequentialRigCapture|BenchmarkCodecRoundtrip|BenchmarkBackendInfer)$' \
   -benchmem -count "$COUNT" ./internal/fleet | tee "$RAW"
+go test -run='^$' -bench='^BenchmarkSensorCapture$' \
+  -benchmem -count "$COUNT" ./internal/sensor | tee -a "$RAW"
+go test -run='^$' -bench='^BenchmarkDemosaic$' \
+  -benchmem -count "$COUNT" ./internal/isp | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
 import datetime, json, os, subprocess, sys
@@ -29,7 +42,13 @@ for line in open(raw):
     parts = line.split()
     if not parts or not parts[0].startswith("Benchmark"):
         continue
-    name = parts[0].rsplit("-", 1)[0]
+    # go test appends "-<GOMAXPROCS>" to the name on multi-core runners
+    # but not when GOMAXPROCS=1; strip the suffix only when it is numeric so
+    # hyphenated sub-benchmark names survive single-core runs.
+    name = parts[0]
+    head, sep, tail = name.rpartition("-")
+    if sep and tail.isdigit():
+        name = head
     vals = parts[2:]
     metrics = {}
     for v, u in zip(vals[0::2], vals[1::2]):

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Print per-benchmark deltas between the last two entries of
+# BENCH_fleet.json — the before/after view of the perf trajectory that
+# bench_baseline.sh records. Informational only: it always exits 0 (CI runs
+# it as a non-gating step), and with fewer than two entries it just says so.
+#
+#   ./scripts/bench_compare.sh [history.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HIST="${1:-BENCH_fleet.json}"
+
+python3 - "$HIST" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+if not os.path.exists(path):
+    print("bench_compare: %s not found — nothing to compare" % path)
+    sys.exit(0)
+try:
+    with open(path) as f:
+        history = json.load(f)
+except ValueError as e:
+    print("bench_compare: %s is not valid JSON (%s) — nothing to compare" % (path, e))
+    sys.exit(0)
+if len(history) < 2:
+    print("bench_compare: %d entr%s in %s — need two for a delta"
+          % (len(history), "y" if len(history) == 1 else "ies", path))
+    sys.exit(0)
+
+prev, cur = history[-2], history[-1]
+print("bench_compare: %s (%s) -> %s (%s)"
+      % (prev["commit"], prev["date"], cur["commit"], cur["date"]))
+
+# Higher-is-better units (rates); everything else (ns/op, B/op, allocs/op)
+# improves downward.
+RATE_UNITS = {"captures/sec", "roundtrips/sec", "inferences/sec",
+              "records/sec", "frames/sec"}
+
+rows = []
+for name in sorted(set(prev["benchmarks"]) | set(cur["benchmarks"])):
+    p = prev["benchmarks"].get(name)
+    c = cur["benchmarks"].get(name)
+    if p is None or c is None:
+        rows.append((name, "", "", "", "(only in %s)" % ("new" if p is None else "old")))
+        continue
+    for unit in sorted(set(p) | set(c)):
+        if unit not in p or unit not in c:
+            continue
+        pv, cv = p[unit], c[unit]
+        if pv == 0:
+            delta = "n/a"
+            better = ""
+        else:
+            pct = (cv - pv) / pv * 100
+            delta = "%+.1f%%" % pct
+            improved = pct > 0 if unit in RATE_UNITS else pct < 0
+            better = "better" if improved else ("worse" if abs(pct) > 0.05 else "~")
+        rows.append((name, unit, "%.6g" % pv, "%.6g" % cv, "%s %s" % (delta, better)))
+
+if not rows:
+    print("bench_compare: the last two entries share no benchmarks — nothing to compare")
+    sys.exit(0)
+wname = max(len(r[0]) for r in rows)
+wunit = max(len(r[1]) for r in rows)
+wold = max(len(r[2]) for r in rows)
+wnew = max(len(r[3]) for r in rows)
+for name, unit, old, new, delta in rows:
+    print("  %-*s  %-*s  %*s  %*s  %s"
+          % (wname, name, wunit, unit, wold, old, wnew, new, delta))
+PY
