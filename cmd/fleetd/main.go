@@ -25,6 +25,9 @@
 //	GET    /v1/experiments/{id}/report  paired cross-arm report (deterministic bytes)
 //	POST   /run                  legacy: create from query params (stream=1 to hold)
 //	GET    /stats /runs /runs/{id}  legacy reads
+//	GET    /metrics              Prometheus text exposition
+//	GET    /v1/runs/{id}/trace   run spans as NDJSON (cross-process when sharded)
+//	GET    /v1/traces/{trace}    locally recorded spans of one trace
 //
 // Example (one worker, one coordinator):
 //
@@ -41,8 +44,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
+	_ "net/http/pprof" // side listener only; the API mux never exposes it
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -52,6 +56,7 @@ import (
 	"repro/internal/fleetd"
 	"repro/internal/lab"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -63,17 +68,27 @@ func main() {
 	history := flag.Int("history", 32, "finished runs kept for GET /runs")
 	peers := flag.String("peers", "", "comma-separated peer instances; when set, runs are split across them as device-range shards")
 	peerWait := flag.Duration("peer-wait", 60*time.Second, "how long a coordinator waits for its peers to become healthy at startup")
+	logFormat := flag.String("log-format", obs.FormatText, "log line format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofAddr := flag.String("pprof", "", "listen address for a net/http/pprof side listener (empty disables)")
 	flag.Parse()
-	log.SetFlags(0)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf(nil, "%v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fatalf(nil, "%v", err)
+	}
 	if *history < 1 {
 		*history = 1 // explicit 0 keeps only the latest run, as it always has
 	}
 
 	cfg := lab.DefaultBaseModel()
 	cfg.Seed, cfg.TrainItems, cfg.Epochs = *seed, *trainItems, *epochs
-	model, err := lab.LoadOrTrainBaseModel(cfg, *modelPath, log.Printf)
+	model, err := lab.LoadOrTrainBaseModel(cfg, *modelPath, logger.Infof)
 	if err != nil {
-		log.Fatal(err)
+		fatalf(logger, "%v", err)
 	}
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -81,13 +96,28 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
+	reg := obs.NewRegistry()
+	stopGauges := obs.StartRuntimeGauges(reg, 0)
+	defer stopGauges()
 	s := fleetd.New(fleetd.Options{
 		Factory:     fleet.BackendReplicator(cfg.Arch, model),
 		ModelParams: model.NumParams(),
 		History:     *history,
 		Peers:       peerList,
-		Logf:        log.Printf,
+		Log:         logger,
+		Registry:    reg,
 	})
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serving it from a
+		// separate listener keeps profiling off the API port.
+		go func() {
+			logger.Infof("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); !errors.Is(err, http.ErrServerClosed) {
+				logger.Warnf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -103,13 +133,13 @@ func main() {
 		for {
 			err := s.ProbePeers(probeCtx)
 			if err == nil {
-				log.Printf("fleetd peers healthy: %s", *peers)
+				logger.Infof("fleetd peers healthy: %s", *peers)
 				break
 			}
 			if probeCtx.Err() != nil {
-				log.Fatalf("fleetd startup: %v", err)
+				fatalf(logger, "fleetd startup: %v", err)
 			}
-			log.Printf("fleetd waiting for peers: %v", err)
+			logger.Infof("fleetd waiting for peers: %v", err)
 			select {
 			case <-probeCtx.Done():
 			case <-time.After(time.Second):
@@ -120,14 +150,14 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("fleetd shutting down: cancelling in-flight runs")
+		logger.Infof("fleetd shutting down: cancelling in-flight runs")
 		// Cancelling runs makes their streams and shard requests drain, so
 		// Shutdown's wait for active handlers terminates.
 		s.CancelRuns()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("fleetd shutdown: %v", err)
+			logger.Warnf("fleetd shutdown: %v", err)
 		}
 	}()
 
@@ -135,14 +165,24 @@ func main() {
 	if s.Coordinator() {
 		mode = "coordinator"
 	}
-	log.Printf("fleetd listening on %s (%s, model: %d params, runtimes: %v, peers: %d)",
+	logger.Infof("fleetd listening on %s (%s, model: %d params, runtimes: %v, peers: %d)",
 		*addr, mode, model.NumParams(), nn.Runtimes(), len(peerList))
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatalf(logger, "%v", err)
 	}
 	// ListenAndServe returns as soon as Shutdown closes the listener;
 	// in-flight handlers (streams, shard replies) are still draining until
 	// the Shutdown call itself returns.
 	<-shutdownDone
-	log.Printf("fleetd stopped")
+	logger.Infof("fleetd stopped")
+}
+
+// fatalf logs the error and exits. Flag validation failures happen before a
+// logger exists; those fall back to stderr directly.
+func fatalf(logger *obs.Logger, format string, args ...any) {
+	if logger == nil {
+		logger, _ = obs.NewLogger(os.Stderr, obs.LevelError, obs.FormatText)
+	}
+	logger.Errorf(format, args...)
+	os.Exit(1)
 }

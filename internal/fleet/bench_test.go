@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/imaging"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/stability"
 )
 
@@ -100,6 +101,42 @@ func BenchmarkFleetPoolCapture(b *testing.B) {
 		_, _ = engine.Capture(devices[i%len(devices)], items[i%benchItems], i%benchAngles)
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "captures/sec")
+}
+
+// BenchmarkObsOverhead measures the telemetry tax on the capture hot path:
+// the "off" case is the uninstrumented engine (one nil check), "on" pays
+// four clock reads plus three histogram observes and a counter increment
+// per capture. The target tracked in BENCH_fleet.json is on/off ≤ 1.02.
+func BenchmarkObsOverhead(b *testing.B) {
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	devices := make([]*Device, 64)
+	for i := range devices {
+		devices[i] = gen.Device(i)
+	}
+	for _, mode := range []struct {
+		name string
+		tele *Telemetry
+	}{
+		{"off", nil},
+		{"on", NewTelemetry(obs.NewRegistry())},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			engine := NewEngine(7, 0, 0)
+			engine.tele = mode.tele
+			for _, it := range items {
+				for a := 0; a < benchAngles; a++ {
+					engine.Displayed(it, a)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = engine.Capture(devices[i%len(devices)], items[i%benchItems], i%benchAngles)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "captures/sec")
+		})
+	}
 }
 
 // BenchmarkAccumulatorAdd measures streaming aggregation throughput: the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // TestCaptureSweepByteIdenticalAcrossWorkers is the cheap-but-strong check
@@ -57,5 +58,87 @@ func TestCaptureSweepByteIdenticalAcrossWorkers(t *testing.T) {
 				t.Fatalf("workers=%d: capture cell %d diverged from workers=1", workers, i)
 			}
 		}
+	}
+}
+
+// TestCaptureByteIdenticalWithTelemetry proves the telemetry invariant: an
+// engine with instruments attached produces the same bytes as one without.
+// Timing hooks may only read the clock — if one ever touched the RNG stream
+// or the pixel path, this test catches it at the digest level. It also
+// checks the hooks actually fire: stage histogram counts must equal the
+// capture count.
+func TestCaptureByteIdenticalWithTelemetry(t *testing.T) {
+	const (
+		devices = 12
+		items   = 2
+		angles  = 3
+	)
+	its := dataset.GenerateHard(items, 3).Items
+	gen := NewGenerator(11, 2, 64)
+
+	sweep := func(tele *Telemetry) [][32]byte {
+		engine := NewEngine(11, 0, 0)
+		engine.tele = tele
+		digests := make([][32]byte, devices*items*angles)
+		for i := range digests {
+			d := gen.Device(i / (items * angles))
+			it := its[(i/angles)%items]
+			img, size := engine.Capture(d, it, i%angles)
+			buf := img.ToBytes()
+			buf = append(buf, byte(size), byte(size>>8), byte(size>>16))
+			digests[i] = sha256.Sum256(buf)
+		}
+		return digests
+	}
+
+	plain := sweep(nil)
+	tele := NewTelemetry(obs.NewRegistry())
+	timed := sweep(tele)
+	for i := range plain {
+		if !bytes.Equal(plain[i][:], timed[i][:]) {
+			t.Fatalf("capture cell %d diverged with telemetry enabled", i)
+		}
+	}
+	const cells = devices * items * angles
+	if got := tele.Captures.Value(); got != cells {
+		t.Fatalf("fleet_captures_total = %d, want %d", got, cells)
+	}
+	for stage, h := range map[string]*obs.Histogram{
+		"sensor": tele.Sensor, "isp": tele.ISP, "codec": tele.Codec,
+	} {
+		if got := h.Count(); got != cells {
+			t.Fatalf("stage %q histogram saw %d observations, want %d", stage, got, cells)
+		}
+	}
+}
+
+// TestRunnerStatsByteIdenticalWithTelemetry runs the full Runner path (pool,
+// queue-wait and inference instruments included) with and without telemetry
+// and requires byte-identical stats JSON, plus consistency between the
+// instruments and the runner's own progress counters.
+func TestRunnerStatsByteIdenticalWithTelemetry(t *testing.T) {
+	cfg := Config{Devices: 8, Items: 1, Angles: []int{0, 2}, Seed: 13, Workers: 4}
+	factory := testFactory()
+
+	plain := NewRunner(cfg, factory)
+	plainStats := plain.Run().JSON()
+
+	tele := NewTelemetry(obs.NewRegistry())
+	timed := NewRunner(cfg, factory)
+	timed.SetTelemetry(tele)
+	timedStats := timed.Run().JSON()
+
+	if !bytes.Equal(plainStats, timedStats) {
+		t.Fatalf("stats diverged with telemetry enabled:\nplain: %s\ntimed: %s", plainStats, timedStats)
+	}
+	_, total, captures := timed.Progress()
+	if got := tele.Captures.Value(); got != int64(captures) {
+		t.Fatalf("fleet_captures_total = %d, runner counted %d", got, captures)
+	}
+	if got := tele.QueueWait.Count(); got != int64(total) {
+		t.Fatalf("queue-wait observations = %d, want one per device (%d)", got, total)
+	}
+	if got := tele.Inference.Count(); got != int64(total) {
+		t.Fatalf("inference observations = %d, want one per device (%d)", got, total)
 	}
 }

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"time"
+
 	"repro/internal/dataset"
 	"repro/internal/imaging"
 )
@@ -26,6 +28,7 @@ type Engine struct {
 	Scale  int // resolution divisor relative to dataset.SceneSize
 
 	scenes *LRU[sceneKey, *imaging.Image]
+	tele   *Telemetry // nil → no timing; set via Runner.SetTelemetry
 }
 
 type sceneKey struct{ item, angle int }
@@ -66,10 +69,34 @@ func (e *Engine) Displayed(it *dataset.Item, angle int) *imaging.Image {
 // fused ISP → native codec → OS decode. It returns the decoded pixels (what
 // the device hands its model) and the compressed size in bytes.
 func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
+	if e.tele != nil {
+		return e.captureTimed(d, it, angle)
+	}
 	displayed := e.Displayed(it, angle)
 	rng := cellRNG(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle))
 	raw := d.Sensor.Capture(displayed, rng)
 	processed := d.ISP.Process(raw) // freshly allocated; Clamp in place is safe
 	enc := d.Profile.Codec.Encode(processed.Clamp())
 	return enc.Decode(d.Profile.Decode), enc.Size
+}
+
+// captureTimed is Capture with a clock read between stages. Kept separate so
+// the uninstrumented path pays exactly one nil check; the pixel math and the
+// RNG stream are identical — timing reads the clock and nothing else.
+func (e *Engine) captureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
+	displayed := e.Displayed(it, angle)
+	rng := cellRNG(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle))
+	t0 := time.Now()
+	raw := d.Sensor.Capture(displayed, rng)
+	t1 := time.Now()
+	processed := d.ISP.Process(raw)
+	t2 := time.Now()
+	enc := d.Profile.Codec.Encode(processed.Clamp())
+	img := enc.Decode(d.Profile.Decode)
+	t3 := time.Now()
+	e.tele.Sensor.Observe(t1.Sub(t0).Nanoseconds())
+	e.tele.ISP.Observe(t2.Sub(t1).Nanoseconds())
+	e.tele.Codec.Observe(t3.Sub(t2).Nanoseconds())
+	e.tele.Captures.Inc()
+	return img, enc.Size
 }

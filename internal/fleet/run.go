@@ -3,6 +3,7 @@ package fleet
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/imaging"
@@ -163,6 +164,9 @@ type Runner struct {
 	capturesDone atomic.Int64
 	cancelled    atomic.Bool
 
+	tele    *Telemetry // nil → no recording
+	started time.Time  // set by Start, read by workers for queue-wait
+
 	startOnce sync.Once
 	done      chan struct{}
 }
@@ -194,10 +198,20 @@ func NewRunner(cfg Config, factory BackendFactory) *Runner {
 	return r
 }
 
+// SetTelemetry attaches capture instruments to the runner (and its engine).
+// Must be called before Start; nil (the default) disables all recording.
+// Telemetry never influences results — it only reads the clock — so
+// instrumented and uninstrumented runs are byte-identical.
+func (r *Runner) SetTelemetry(t *Telemetry) {
+	r.tele = t
+	r.engine.tele = t
+}
+
 // Start launches the run in the background, returning a channel closed on
 // completion. Stats may be called at any time for an in-flight snapshot.
 func (r *Runner) Start() <-chan struct{} {
 	r.startOnce.Do(func() {
+		r.started = time.Now()
 		go func() {
 			defer close(r.done)
 			r.pool.RunWorker(r.cfg.rangeSize(), func(worker, i int) {
@@ -256,6 +270,11 @@ func (r *Runner) runDevice(worker, id int) {
 	if r.cancelled.Load() {
 		return
 	}
+	if r.tele != nil {
+		// Queue wait: how long this device sat behind others before a pool
+		// worker picked it up.
+		r.tele.QueueWait.ObserveSince(r.started)
+	}
 	d := r.gen.Device(id)
 	runtime := r.runtimeFor(d)
 	cache := r.backends[worker]
@@ -277,7 +296,14 @@ func (r *Runner) runDevice(worker, id int) {
 		}
 	}
 
+	var inferStart time.Time
+	if r.tele != nil {
+		inferStart = time.Now()
+	}
 	preds, scores, probs := train.Evaluate(backend, images, r.cfg.BatchSize)
+	if r.tele != nil {
+		r.tele.Inference.ObserveSince(inferStart)
+	}
 	topks := train.TopKOf(probs, r.cfg.TopK)
 
 	slot := r.slots[id-r.cfg.DeviceLo]

@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric names the fleet hot path records. Exported so fleetd and the smoke
+// scripts reference the same strings.
+const (
+	MetricStageSeconds  = "fleet_stage_seconds"
+	MetricQueueWait     = "fleet_queue_wait_seconds"
+	MetricCapturesTotal = "fleet_captures_total"
+)
+
+// Telemetry bundles the instruments the capture hot path records into:
+// per-stage latency histograms (sensor → ISP → codec → inference),
+// queue-wait time, and a capture counter. Histograms use exact integer
+// counts (obs.Histogram), so shard snapshots merge deterministically.
+//
+// Recording only reads the monotonic clock — never the RNG stream, never
+// pixel data — so an instrumented run is byte-identical to an
+// uninstrumented one (byteident_test.go holds the hot path to this). A nil
+// *Telemetry disables everything behind a single pointer check per site,
+// keeping the uninstrumented path untouched.
+type Telemetry struct {
+	Sensor    *obs.Histogram // fleet_stage_seconds{stage="sensor"}
+	ISP       *obs.Histogram // fleet_stage_seconds{stage="isp"}
+	Codec     *obs.Histogram // fleet_stage_seconds{stage="codec"} (encode + decode)
+	Inference *obs.Histogram // fleet_stage_seconds{stage="inference"} (per device batch-eval)
+	QueueWait *obs.Histogram // fleet_queue_wait_seconds
+	Captures  *obs.Counter   // fleet_captures_total
+}
+
+// NewTelemetry builds (or resolves, if already present) the fleet
+// instrument set in reg. Runners sharing a registry share series, which is
+// what a fleetd instance serving many runs wants: /metrics aggregates over
+// the process lifetime.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	reg.Describe(MetricStageSeconds, "Capture pipeline per-stage latency by stage.")
+	reg.Describe(MetricQueueWait, "Time a device waited for a pool worker after run start.")
+	reg.Describe(MetricCapturesTotal, "Capture cells completed.")
+	return &Telemetry{
+		Sensor:    reg.DurationHistogram(MetricStageSeconds, "stage", "sensor"),
+		ISP:       reg.DurationHistogram(MetricStageSeconds, "stage", "isp"),
+		Codec:     reg.DurationHistogram(MetricStageSeconds, "stage", "codec"),
+		Inference: reg.DurationHistogram(MetricStageSeconds, "stage", "inference"),
+		QueueWait: reg.DurationHistogram(MetricQueueWait),
+		Captures:  reg.Counter(MetricCapturesTotal),
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // Client drives one fleetd instance's /v1 API. The zero HTTPClient uses
@@ -144,6 +146,42 @@ func (c *Client) RunShard(ctx context.Context, spec ShardSpec) (*fleet.RunState,
 		return nil, err
 	}
 	return fleet.UnmarshalRunState(data)
+}
+
+// Metrics fetches the instance's Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// RunTrace fetches one run's spans. On a coordinator the reply already
+// aggregates peer-side shard spans, so the result is the whole
+// cross-process trace.
+func (c *Client) RunTrace(ctx context.Context, id int) ([]obs.Span, error) {
+	return c.traceNDJSON(ctx, fmt.Sprintf("/v1/runs/%d/trace", id))
+}
+
+// TraceSpans fetches the spans an instance recorded locally under one trace
+// ID — the coordinator's per-peer aggregation call behind RunTrace.
+func (c *Client) TraceSpans(ctx context.Context, trace string) ([]obs.Span, error) {
+	return c.traceNDJSON(ctx, "/v1/traces/"+url.PathEscape(trace))
+}
+
+func (c *Client) traceNDJSON(ctx context.Context, path string) ([]obs.Span, error) {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseNDJSON(data)
 }
 
 // WaitRun polls until the run leaves StateRunning (or the context ends) and

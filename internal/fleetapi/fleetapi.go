@@ -169,6 +169,13 @@ type ShardSpec struct {
 	RunSpec
 	DeviceLo int `json:"device_lo"`
 	DeviceHi int `json:"device_hi"`
+	// Trace and Parent carry the coordinator run's trace context: the
+	// executing instance records its shard.execute span under this trace,
+	// parented onto the coordinator's dispatch span, so a sharded run yields
+	// one coherent cross-process trace. Both optional; empty disables shard
+	// tracing.
+	Trace  string `json:"trace,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // FleetConfig converts the shard spec into a range-scoped fleet config.
@@ -222,6 +229,9 @@ type RunStatus struct {
 	// Shards is the peer fan-out of a coordinator-executed run (0 for
 	// local runs).
 	Shards int `json:"shards,omitempty"`
+	// Trace is the run's deterministic trace ID; GET /v1/runs/{id}/trace
+	// returns its spans.
+	Trace string `json:"trace,omitempty"`
 	// Error carries the failure message of a failed run.
 	Error string `json:"error,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/fleetapi"
+	"repro/internal/obs"
 )
 
 // coordExec executes one run by splitting its device range into contiguous
@@ -22,6 +23,15 @@ type coordExec struct {
 	cfg    fleet.Config
 	peers  []*fleetapi.Client
 	shards []fleetapi.ShardSpec
+
+	// tracer/trace/parent record the coordinator-side lifecycle spans
+	// (run.probe, shard.dispatch, run.merge) under the run's trace; peers
+	// join it via the ShardSpec trace fields. An empty trace (experiment
+	// arms) disables span recording. logf is never nil.
+	tracer *obs.Tracer
+	trace  string
+	parent string
+	logf   func(string, ...any)
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -37,10 +47,17 @@ type coordExec struct {
 
 // newCoordExec plans the shard split: the range [0, Devices) divided into
 // len(peers) near-equal contiguous chunks, skipping peers left empty when
-// the fleet is smaller than the peer set.
-func newCoordExec(spec fleetapi.RunSpec, cfg fleet.Config, peers []*fleetapi.Client) *coordExec {
+// the fleet is smaller than the peer set. trace may be empty (no span
+// recording); logf may be nil (silenced).
+func newCoordExec(spec fleetapi.RunSpec, cfg fleet.Config, peers []*fleetapi.Client, tracer *obs.Tracer, trace string, logf func(string, ...any)) *coordExec {
 	ctx, stop := context.WithCancel(context.Background())
-	c := &coordExec{spec: spec, cfg: cfg, ctx: ctx, stop: stop}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &coordExec{
+		spec: spec, cfg: cfg, ctx: ctx, stop: stop,
+		tracer: tracer, trace: trace, parent: obs.SpanID(trace, "run"), logf: logf,
+	}
 	n := len(peers)
 	for i, peer := range peers {
 		lo, hi := cfg.Devices*i/n, cfg.Devices*(i+1)/n
@@ -65,13 +82,24 @@ func (c *coordExec) execute() (fleet.Stats, error) {
 	// with its name attached, instead of minutes into a sharded fleet with
 	// a connection error buried inside a shard failure. The probe covers
 	// exactly the peers this run would dispatch to.
-	if err := probePeers(c.ctx, c.peers); err != nil {
+	probe := c.tracer.Start(c.trace, c.parent, "run.probe")
+	if err := probePeers(c.ctx, c.peers, c.logf); err != nil {
+		probe.End()
 		return fleet.Stats{}, err
 	}
+	probe.End()
 	errs := make(chan error, len(c.shards))
 	for i := range c.shards {
 		go func(peer *fleetapi.Client, shard fleetapi.ShardSpec) {
+			// The dispatch span covers the whole shard round trip; the peer
+			// records its shard.execute span under the same trace, parented
+			// here, so the cross-process trace nests dispatch → execute.
+			span := c.tracer.Start(c.trace, c.parent, "shard.dispatch",
+				fmt.Sprintf("%d..%d", shard.DeviceLo, shard.DeviceHi)).
+				SetAttr("peer", peer.BaseURL)
+			shard.Trace, shard.Parent = c.trace, span.SpanID()
 			state, err := peer.RunShard(c.ctx, shard)
+			span.End()
 			if err != nil {
 				c.stop()
 				errs <- fmt.Errorf("peer %s shard %d..%d: %w", peer.BaseURL, shard.DeviceLo, shard.DeviceHi, err)
@@ -102,7 +130,10 @@ func (c *coordExec) execute() (fleet.Stats, error) {
 	c.mu.Lock()
 	states := append([]*fleet.RunState(nil), c.states...)
 	c.mu.Unlock()
-	return fleet.MergedStats(c.cfg, states...)
+	merge := c.tracer.Start(c.trace, c.parent, "run.merge")
+	st, err := fleet.MergedStats(c.cfg, states...)
+	merge.End()
+	return st, err
 }
 
 // stats merges the shard states collected so far — the same kind of partial

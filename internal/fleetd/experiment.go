@@ -52,8 +52,10 @@ type experiment struct {
 
 // execute drives the arms to completion in order and records the outcome:
 // the report bytes when every arm completed, the first failure otherwise.
-// The done channel closes only after the outcome is recorded.
-func (e *experiment) execute(logf func(string, ...any)) {
+// The done channel closes only after the outcome is recorded. It takes the
+// server for the observability sinks (logger, lifecycle counters).
+func (e *experiment) execute(s *Server) {
+	logf := s.log.Infof
 	defer close(e.done)
 	stats := make([]fleet.Stats, len(e.arms))
 	accs := make([]*stability.Accumulator, len(e.arms))
@@ -144,6 +146,7 @@ func (e *experiment) execute(logf func(string, ...any)) {
 	e.mu.Lock()
 	e.final, e.report = final, report
 	e.mu.Unlock()
+	s.reg.Counter(metricExpsFinished, "state", final).Inc()
 	logf("experiment %d %s", e.id, final)
 }
 
@@ -319,12 +322,15 @@ func (s *Server) createExperiment(spec fleetapi.ExperimentSpec) (*experiment, *f
 	if len(s.peers) > 0 {
 		peers := s.peers
 		e.newExec = func(rs fleetapi.RunSpec, cfg fleet.Config) execution {
-			return newCoordExec(rs, cfg, peers)
+			// Arms carry no trace of their own; re-probe logging stays at
+			// debug so a many-armed sweep doesn't flood the log.
+			return newCoordExec(rs, cfg, peers, s.tracer, "", s.log.Debugf)
 		}
 	} else {
-		factory := s.factory
 		e.newExec = func(_ fleetapi.RunSpec, cfg fleet.Config) execution {
-			return &localExec{runner: fleet.NewRunner(cfg, factory)}
+			runner := fleet.NewRunner(cfg, s.factory)
+			runner.SetTelemetry(s.tele)
+			return &localExec{runner: runner}
 		}
 	}
 	for _, a := range arms {
@@ -342,8 +348,9 @@ func (s *Server) createExperiment(spec fleetapi.ExperimentSpec) (*experiment, *f
 	}
 	s.mu.Unlock()
 
-	go e.execute(s.logf)
-	s.logf("experiment %d started: %d arms, baseline %q, shards=%d", e.id, len(arms), e.baseline, e.shards)
+	go e.execute(s)
+	s.reg.Counter(metricExpsStarted).Inc()
+	s.log.Infof("experiment %d started: %d arms, baseline %q, shards=%d", e.id, len(arms), e.baseline, e.shards)
 	return e, nil
 }
 
@@ -419,7 +426,7 @@ func (s *Server) handleExperimentResource(w http.ResponseWriter, req *http.Reque
 		}
 		if e.inFlight() {
 			e.cancel()
-			s.logf("experiment %d cancelled", e.id)
+			s.log.Infof("experiment %d cancelled", e.id)
 			fleetapi.WriteJSON(w, http.StatusAccepted, e.status())
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strconv"
 	"sync"
 
 	"repro/internal/fleet"
@@ -59,6 +60,7 @@ type run struct {
 	spec   fleetapi.RunSpec
 	cfg    fleet.Config // spec.FleetConfig().WithDefaults()
 	shards int          // peer fan-out (0 = local execution)
+	trace  string       // deterministic trace ID: obs.TraceID("run", id, seed)
 	done   chan struct{}
 
 	mu         sync.Mutex
@@ -76,9 +78,16 @@ type run struct {
 
 // execute drives the run to completion and records the outcome. The done
 // channel closes only after the outcome is recorded, so any observer
-// released by it reads final state.
-func (r *run) execute(logf func(string, ...any)) {
+// released by it reads final state. It takes the server (same package) for
+// the observability sinks: logger, tracer, and lifecycle counters.
+func (r *run) execute(s *Server) {
 	defer close(r.done)
+	// The root span's ID is deterministic in (trace, "run"), which is how
+	// the admit span and the coordinator's dispatch/merge spans could parent
+	// onto it before it exists.
+	root := s.tracer.Start(r.trace, "", "run").
+		SetAttr("run", strconv.Itoa(r.id)).
+		SetAttr("devices", strconv.Itoa(r.cfg.Devices))
 	exec := r.currentExec()
 	st, err := exec.execute()
 	if err != nil && r.isCancelled() && errors.Is(err, context.Canceled) {
@@ -107,10 +116,19 @@ func (r *run) execute(logf func(string, ...any)) {
 	}
 	r.exec = nil
 	r.mu.Unlock()
+	state := fleetapi.StateDone
+	switch {
+	case err != nil:
+		state = fleetapi.StateFailed
+	case done < r.cfg.Devices:
+		state = fleetapi.StateCancelled
+	}
+	root.SetAttr("state", state).End()
+	s.reg.Counter(metricRunsFinished, "state", state).Inc()
 	if err != nil {
-		logf("run %d failed: %v", r.id, err)
+		s.log.Errorf("run %d failed: %v", r.id, err)
 	} else {
-		logf("run %d finished: %d/%d devices, %d captures", r.id, st.DevicesDone, r.cfg.Devices, st.Captures)
+		s.log.Infof("run %d finished: %d/%d devices, %d captures", r.id, st.DevicesDone, r.cfg.Devices, st.Captures)
 	}
 }
 
@@ -224,6 +242,7 @@ func (r *run) status() fleetapi.RunStatus {
 		Spec:    r.spec,
 		Devices: r.cfg.Devices,
 		Shards:  r.shards,
+		Trace:   r.trace,
 	}
 	st.DevicesDone, st.Captures = o.done, o.captures
 	// States are monotonic: "running" until the outcome is recorded, then

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/fleetapi"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Options configures a Server.
@@ -37,8 +40,15 @@ type Options struct {
 	// host:port) instead of executing locally. The instance still serves
 	// /v1/shards, so coordinators can be stacked on workers.
 	Peers []string
-	// Logf receives operational log lines; nil silences them.
-	Logf func(format string, args ...any)
+	// Log receives operational log lines; nil silences them (a nil
+	// *obs.Logger is a valid no-op).
+	Log *obs.Logger
+	// Registry collects the instance's metrics; nil builds a private one.
+	// Share a registry across embedded instances to aggregate their series.
+	Registry *obs.Registry
+	// Tracer records run/shard lifecycle spans; nil builds a private
+	// default-capacity ring.
+	Tracer *obs.Tracer
 }
 
 // Server owns the run registry and the HTTP surface. At most one run
@@ -50,7 +60,16 @@ type Server struct {
 	params  int
 	history int
 	peers   []*fleetapi.Client
-	logf    func(format string, args ...any)
+	log     *obs.Logger
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	tele    *fleet.Telemetry
+	started time.Time
+	// goVersion and vcsRevision come from debug.ReadBuildInfo at startup;
+	// /healthz reports them so a fleet's instances can be audited for
+	// version skew.
+	goVersion   string
+	vcsRevision string
 
 	mu     sync.Mutex
 	latest *run
@@ -79,18 +98,41 @@ func New(o Options) *Server {
 	} else if o.History < 1 {
 		o.History = 1
 	}
-	logf := o.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Tracer == nil {
+		o.Tracer = obs.NewTracer(0)
 	}
 	s := &Server{
 		factory:      o.Factory,
 		params:       o.ModelParams,
 		history:      o.History,
-		logf:         logf,
+		log:          o.Log,
+		reg:          o.Registry,
+		tracer:       o.Tracer,
+		tele:         fleet.NewTelemetry(o.Registry),
+		started:      time.Now(),
 		shardRunners: map[*fleet.Runner]struct{}{},
 		shardSlots:   4,
 	}
+	s.goVersion = runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				s.vcsRevision = kv.Value
+			}
+		}
+	}
+	s.reg.Describe(metricHTTPRequests, "HTTP requests served by route and status code.")
+	s.reg.Describe(metricHTTPLatency, "HTTP request latency by route.")
+	s.reg.Describe(metricHTTPInFlight, "HTTP requests currently executing by route.")
+	s.reg.Describe(metricRunsStarted, "Run resources admitted.")
+	s.reg.Describe(metricRunsFinished, "Run resources completed by terminal state.")
+	s.reg.Describe(metricExpsStarted, "Experiment resources admitted.")
+	s.reg.Describe(metricExpsFinished, "Experiment resources completed by terminal state.")
+	s.reg.Describe(metricShardsStarted, "Shard executions admitted.")
+	s.reg.Describe(metricShardsFinished, "Shard executions completed by terminal state.")
 	for _, p := range o.Peers {
 		s.peers = append(s.peers, fleetapi.NewClient(p))
 	}
@@ -100,28 +142,37 @@ func New(o Options) *Server {
 // Coordinator reports whether the instance fans runs out to peers.
 func (s *Server) Coordinator() bool { return len(s.peers) > 0 }
 
-// Handler mounts the v1 API and the legacy adapters.
+// Handler mounts the v1 API and the legacy adapters. Every route is wrapped
+// in the metrics middleware (request count/latency/in-flight labeled by the
+// registration-time pattern, so label cardinality is bounded by the route
+// table, never by request paths).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/runs", s.handleRunsCollection)
-	mux.HandleFunc("/v1/runs/{id}", s.handleRunResource)
-	mux.HandleFunc("/v1/runs/{id}/stats", s.handleRunStats)
-	mux.HandleFunc("/v1/runs/{id}/stream", s.handleRunStream)
-	mux.HandleFunc("/v1/shards", s.handleShard)
-	mux.HandleFunc("/v1/experiments", s.handleExperimentsCollection)
-	mux.HandleFunc("/v1/experiments/{id}", s.handleExperimentResource)
-	mux.HandleFunc("/v1/experiments/{id}/report", s.handleExperimentReport)
-	mux.HandleFunc("/run", s.handleLegacyRun)
-	mux.HandleFunc("/stats", s.handleLegacyStats)
-	mux.HandleFunc("/runs", s.handleLegacyRuns)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("/healthz", s.handleHealthz)
+	handle("/metrics", s.handleMetrics)
+	handle("/v1/runs", s.handleRunsCollection)
+	handle("/v1/runs/{id}", s.handleRunResource)
+	handle("/v1/runs/{id}/stats", s.handleRunStats)
+	handle("/v1/runs/{id}/stream", s.handleRunStream)
+	handle("/v1/runs/{id}/trace", s.handleRunTrace)
+	handle("/v1/traces/{trace}", s.handleTraceResource)
+	handle("/v1/shards", s.handleShard)
+	handle("/v1/experiments", s.handleExperimentsCollection)
+	handle("/v1/experiments/{id}", s.handleExperimentResource)
+	handle("/v1/experiments/{id}/report", s.handleExperimentReport)
+	handle("/run", s.handleLegacyRun)
+	handle("/stats", s.handleLegacyStats)
+	handle("/runs", s.handleLegacyRuns)
 	// Trailing-slash prefix, not "/runs/{id}": the legacy contract replies
 	// 400 to any garbage after /runs/ (including /runs/ itself and extra
 	// segments), where a {id} pattern would fall through to a 404.
-	mux.HandleFunc("/runs/", s.handleLegacyRunByID)
+	handle("/runs/", s.handleLegacyRunByID)
 	// Catch-all so unmatched paths get the JSON envelope instead of the
 	// mux's text/plain 404 — every error this server emits is parseable.
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+	handle("/", func(w http.ResponseWriter, req *http.Request) {
 		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeNotFound, "no such endpoint %s", req.URL.Path))
 	})
 	return mux
@@ -164,16 +215,22 @@ func (s *Server) CancelRuns() {
 // surfacing minutes later as a mid-run shard error; the coordinator
 // execution path re-probes before every dispatch.
 func (s *Server) ProbePeers(ctx context.Context) error {
-	return probePeers(ctx, s.peers)
+	// Startup probes log at info (one line per peer with its round-trip
+	// latency — a slow-but-healthy peer is worth noticing before sharding a
+	// fleet onto it); per-run re-probes log at debug to stay out of the way.
+	return probePeers(ctx, s.peers, s.log.Infof)
 }
 
 // probePeers is the shared health probe behind ProbePeers and the
-// coordinator's pre-dispatch check.
-func probePeers(ctx context.Context, peers []*fleetapi.Client) error {
+// coordinator's pre-dispatch check. logf (never nil; pass a no-op) gets one
+// line per healthy peer with the probe's round-trip latency.
+func probePeers(ctx context.Context, peers []*fleetapi.Client, logf func(string, ...any)) error {
 	for _, p := range peers {
+		t0 := time.Now()
 		if err := p.Healthz(ctx); err != nil {
 			return fmt.Errorf("peer %s failed health probe: %w", p.BaseURL, err)
 		}
+		logf("peer %s healthy (probe %s)", p.BaseURL, time.Since(t0).Round(time.Microsecond))
 	}
 	return nil
 }
@@ -200,12 +257,23 @@ func (s *Server) busyLocked() bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	fleetapi.WriteJSON(w, http.StatusOK, map[string]any{
+	s.mu.Lock()
+	runs, exps := len(s.runs), len(s.experiments)
+	s.mu.Unlock()
+	body := map[string]any{
 		"status":       "ok",
 		"model_params": s.params,
 		"runtimes":     nn.Runtimes(),
 		"peers":        len(s.peers),
-	})
+		"uptime_sec":   int64(time.Since(s.started).Seconds()),
+		"go_version":   s.goVersion,
+		"runs":         runs,
+		"experiments":  exps,
+	}
+	if s.vcsRevision != "" {
+		body["vcs_revision"] = s.vcsRevision
+	}
+	fleetapi.WriteJSON(w, http.StatusOK, body)
 }
 
 // createRun validates a spec, enforces the one-run-in-flight rule, and
@@ -227,12 +295,19 @@ func (s *Server) createRun(spec fleetapi.RunSpec) (*run, *fleetapi.Error) {
 		return nil, fleetapi.Errorf(fleetapi.CodeConflict, "a fleet run or experiment is already in flight")
 	}
 	r := &run{id: s.nextID, spec: spec, cfg: cfg, done: make(chan struct{})}
+	r.trace = obs.TraceID("run", r.id, cfg.Seed)
+	// The admit span parents onto the root "run" span's deterministic ID;
+	// the root itself is recorded by run.execute when the run completes.
+	admit := s.tracer.Start(r.trace, obs.SpanID(r.trace, "run"), "run.admit").
+		SetAttr("run", strconv.Itoa(r.id))
 	if len(s.peers) > 0 {
-		coord := newCoordExec(spec, cfg, s.peers)
+		coord := newCoordExec(spec, cfg, s.peers, s.tracer, r.trace, s.log.Debugf)
 		r.exec = coord
 		r.shards = coord.shardCount()
 	} else {
-		r.exec = &localExec{runner: fleet.NewRunner(cfg, s.factory)}
+		runner := fleet.NewRunner(cfg, s.factory)
+		runner.SetTelemetry(s.tele)
+		r.exec = &localExec{runner: runner}
 	}
 	s.nextID++
 	s.latest = r
@@ -241,10 +316,12 @@ func (s *Server) createRun(spec fleetapi.RunSpec) (*run, *fleetapi.Error) {
 		s.runs = s.runs[len(s.runs)-s.history:]
 	}
 	s.mu.Unlock()
+	admit.End()
+	s.reg.Counter(metricRunsStarted).Inc()
 
-	go r.execute(s.logf)
-	s.logf("run %d started: devices=%d items=%d seed=%d runtime=%q shards=%d",
-		r.id, cfg.Devices, cfg.Items, cfg.Seed, cfg.Runtime, r.shards)
+	go r.execute(s)
+	s.log.Infof("run %d started: devices=%d items=%d seed=%d runtime=%q shards=%d trace=%s",
+		r.id, cfg.Devices, cfg.Items, cfg.Seed, cfg.Runtime, r.shards, r.trace)
 	return r, nil
 }
 
@@ -321,7 +398,7 @@ func (s *Server) handleRunResource(w http.ResponseWriter, req *http.Request) {
 		}
 		if r.inFlight() {
 			r.cancel()
-			s.logf("run %d cancelled", r.id)
+			s.log.Infof("run %d cancelled", r.id)
 			fleetapi.WriteJSON(w, http.StatusAccepted, r.status())
 			return
 		}
@@ -460,6 +537,7 @@ func (s *Server) handleShard(w http.ResponseWriter, req *http.Request) {
 	s.shardCount++
 	s.mu.Unlock()
 	runner := fleet.NewRunner(spec.FleetConfig(), s.factory)
+	runner.SetTelemetry(s.tele)
 	s.mu.Lock()
 	// Re-check closing: CancelRuns may have snapshotted shardRunners while
 	// this runner was being built, in which case nothing would ever cancel
@@ -479,7 +557,15 @@ func (s *Server) handleShard(w http.ResponseWriter, req *http.Request) {
 		s.mu.Unlock()
 	}()
 
-	s.logf("shard started: devices=%d..%d seed=%d", spec.DeviceLo, spec.DeviceHi, spec.Seed)
+	s.log.Infof("shard started: devices=%d..%d seed=%d", spec.DeviceLo, spec.DeviceHi, spec.Seed)
+	s.reg.Counter(metricShardsStarted).Inc()
+	// The shard.execute span joins the coordinator's trace: spec.Trace and
+	// spec.Parent carry its trace context across the process boundary, and
+	// the device range qualifies the span ID so sibling shards of one run
+	// don't collide.
+	shardRange := fmt.Sprintf("%d..%d", spec.DeviceLo, spec.DeviceHi)
+	span := s.tracer.Start(spec.Trace, spec.Parent, "shard.execute", shardRange).
+		SetAttr("range", shardRange)
 	done := runner.Start()
 	select {
 	case <-done:
@@ -493,16 +579,20 @@ func (s *Server) handleShard(w http.ResponseWriter, req *http.Request) {
 	// after the last device finished (shutdown racing a completed shard)
 	// must not discard a fully computed state.
 	if done, total, _ := runner.Progress(); done < total {
+		span.SetAttr("state", fleetapi.StateCancelled).End()
+		s.reg.Counter(metricShardsFinished, "state", fleetapi.StateCancelled).Inc()
 		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeRunFailed, "shard cancelled before completion"))
 		return
 	}
+	span.SetAttr("state", fleetapi.StateDone).End()
+	s.reg.Counter(metricShardsFinished, "state", fleetapi.StateDone).Inc()
 	data, err := runner.MarshalRunState()
 	if err != nil {
 		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeInternal, "marshal shard state: %v", err))
 		return
 	}
 	_, _, captures := runner.Progress()
-	s.logf("shard finished: devices=%d..%d %d captures", spec.DeviceLo, spec.DeviceHi, captures)
+	s.log.Infof("shard finished: devices=%d..%d %d captures", spec.DeviceLo, spec.DeviceHi, captures)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)

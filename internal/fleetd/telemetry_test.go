@@ -1,0 +1,220 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleetapi"
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpoint runs one fleet and checks the scrape: exposition
+// content type, the capture instruments with the exact expected counts, the
+// HTTP middleware series, and the run lifecycle counters.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := v1Fixture(t, 4)
+	ctx := context.Background()
+
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	// 6 devices × 1 item × 1 angle.
+	for _, want := range []string{
+		"fleet_captures_total 6",
+		`fleet_stage_seconds_count{stage="sensor"} 6`,
+		`fleet_stage_seconds_count{stage="isp"} 6`,
+		`fleet_stage_seconds_count{stage="codec"} 6`,
+		`fleet_stage_seconds_count{stage="inference"} 6`,
+		"fleet_queue_wait_seconds_count 6",
+		`fleet_stage_seconds_bucket{stage="sensor",le="0.0001"}`,
+		"# TYPE fleet_stage_seconds histogram",
+		"fleetd_runs_started_total 1",
+		`fleetd_runs_finished_total{state="done"} 1`,
+		`fleetd_http_requests_total{code="201",route="/v1/runs"} 1`,
+		"# TYPE fleetd_http_request_seconds histogram",
+		`fleetd_http_in_flight_requests{route="/v1/runs/{id}"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCrossProcessTrace runs a sharded fleet on a coordinator with two
+// workers and checks that GET /v1/runs/{id}/trace returns one coherent
+// trace spanning both processes: coordinator lifecycle spans plus each
+// peer's shard.execute span, correctly parented onto its dispatch span.
+func TestCrossProcessTrace(t *testing.T) {
+	c := coordinatorFixture(t, 2)
+	ctx := context.Background()
+
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace == "" {
+		t.Fatal("run status has no trace id")
+	}
+	if st.Trace != obs.TraceID("run", st.ID, testSpec.Seed) {
+		t.Fatalf("trace id %q not the deterministic derivation", st.Trace)
+	}
+	if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := c.RunTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]obs.Span{}
+	for _, sp := range spans {
+		if sp.Trace != st.Trace {
+			t.Fatalf("span %q carries foreign trace %q", sp.Name, sp.Trace)
+		}
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for name, want := range map[string]int{
+		"run": 1, "run.admit": 1, "run.probe": 1, "run.merge": 1,
+		"shard.dispatch": 2, "shard.execute": 2,
+	} {
+		if got := len(byName[name]); got != want {
+			t.Fatalf("trace has %d %q spans, want %d (all: %+v)", got, name, want, spans)
+		}
+	}
+	root := byName["run"][0]
+	if root.Parent != "" {
+		t.Fatalf("root span has parent %q", root.Parent)
+	}
+	dispatchIDs := map[string]bool{}
+	for _, sp := range byName["shard.dispatch"] {
+		if sp.Parent != root.ID {
+			t.Fatalf("dispatch span parents onto %q, not the root %q", sp.Parent, root.ID)
+		}
+		dispatchIDs[sp.ID] = true
+	}
+	// The peer-side execute spans must nest under the coordinator-side
+	// dispatch spans — that is the cross-process join.
+	for _, sp := range byName["shard.execute"] {
+		if !dispatchIDs[sp.Parent] {
+			t.Fatalf("shard.execute parent %q is not a dispatch span (%v)", sp.Parent, dispatchIDs)
+		}
+		if sp.Attrs["state"] != fleetapi.StateDone {
+			t.Fatalf("shard.execute state attr %q", sp.Attrs["state"])
+		}
+	}
+}
+
+// TestTraceResourceLocalSpans checks the peer-side aggregation endpoint: an
+// instance serves exactly its locally recorded spans for a trace, and an
+// unknown trace is an empty reply, not an error.
+func TestTraceResourceLocalSpans(t *testing.T) {
+	s, c := v1Fixture(t, 4)
+	ctx := context.Background()
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := c.TraceSpans(ctx, st.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.tracer.Spans(st.Trace); len(spans) != len(want) {
+		t.Fatalf("endpoint served %d spans, tracer holds %d", len(spans), len(want))
+	}
+	empty, err := c.TraceSpans(ctx, "deadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("unknown trace returned %d spans", len(empty))
+	}
+}
+
+// TestHealthzObservabilityFields checks the enriched /healthz payload.
+func TestHealthzObservabilityFields(t *testing.T) {
+	_, c := v1Fixture(t, 4)
+	ctx := context.Background()
+	st, err := c.CreateRun(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitRun(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status      string  `json:"status"`
+		UptimeSec   *int64  `json:"uptime_sec"`
+		GoVersion   string  `json:"go_version"`
+		Runs        *int    `json:"runs"`
+		Experiments *int    `json:"experiments"`
+		ModelParams int     `json:"model_params"`
+		VCSRevision *string `json:"vcs_revision"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.UptimeSec == nil || *body.UptimeSec < 0 {
+		t.Fatalf("healthz %+v", body)
+	}
+	if !strings.HasPrefix(body.GoVersion, "go") {
+		t.Fatalf("go_version %q", body.GoVersion)
+	}
+	if body.Runs == nil || *body.Runs != 1 {
+		t.Fatalf("runs field %v", body.Runs)
+	}
+	if body.Experiments == nil || *body.Experiments != 0 {
+		t.Fatalf("experiments field %v", body.Experiments)
+	}
+}
+
+// TestStatusWriterKeepsFlusher guards the stream path: the metrics
+// middleware wraps every ResponseWriter, and streamRun needs the wrapper to
+// still flush through to the underlying connection.
+func TestStatusWriterKeepsFlusher(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var w http.ResponseWriter = sw
+	if _, ok := w.(http.Flusher); !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+	sw.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+	sw.Write([]byte("x"))
+	if sw.code() != http.StatusOK {
+		t.Fatalf("implicit status %d", sw.code())
+	}
+}

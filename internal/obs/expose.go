@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ExpositionContentType is the Content-Type of the text format served by
+// WritePrometheus.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// string, histograms expanded into cumulative _bucket/_sum/_count with
+// bounds converted by the histogram's scale. The output for a quiesced
+// registry is deterministic byte-for-byte.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		help, kind := f.help, f.kind
+		series := append([]*series(nil), f.series...)
+		r.mu.RUnlock()
+		if kind == "" { // Describe'd but no series ever instantiated
+			continue
+		}
+		if help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(kind)
+		bw.WriteByte('\n')
+		for _, s := range series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSample(bw, name, "", s.labels, formatInt(m.Value()))
+			case *Gauge:
+				writeSample(bw, name, "", s.labels, formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(bw, name, s.labels, m.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with an
+// explicit +Inf, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name, labels string, snap HistogramSnapshot) {
+	scale := snap.scaleOr1()
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := formatFloat(float64(bound) * scale)
+		writeSample(bw, name, "_bucket", joinLabels(labels, `le="`+le+`"`), formatInt(cum))
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	writeSample(bw, name, "_bucket", joinLabels(labels, `le="+Inf"`), formatInt(cum))
+	writeSample(bw, name, "_sum", labels, formatFloat(float64(snap.Sum)*scale))
+	writeSample(bw, name, "_count", labels, formatInt(cum))
+}
+
+func writeSample(bw *bufio.Writer, name, suffix, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat renders the shortest exact representation; integral floats
+// keep Go's 'g' form (no trailing .0), which the exposition format allows.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

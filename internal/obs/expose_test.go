@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Describe("http_requests_total", "Requests served.")
+	reg.Counter("http_requests_total", "route", "/v1/runs", "code", "200").Add(3)
+	reg.Counter("http_requests_total", "route", "/v1/runs", "code", "404").Add(1)
+	reg.Gauge("in_flight").Set(2)
+	h := reg.Histogram("latency_seconds", []int64{1000, 2000}, 1e-3, "stage", "isp")
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9000)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{code="200",route="/v1/runs"} 3
+http_requests_total{code="404",route="/v1/runs"} 1
+# TYPE in_flight gauge
+in_flight 2
+# TYPE latency_seconds histogram
+latency_seconds_bucket{stage="isp",le="1"} 1
+latency_seconds_bucket{stage="isp",le="2"} 2
+latency_seconds_bucket{stage="isp",le="+Inf"} 3
+latency_seconds_sum{stage="isp"} 11
+latency_seconds_count{stage="isp"} 3
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := buildTestRegistry()
+	var a, b strings.Builder
+	reg.WritePrometheus(&a)
+	reg.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of a quiesced registry differ")
+	}
+}
+
+// The same line grammar scripts/lint_metrics.sh enforces, applied to the
+// package's own output: every emitted line must be a comment, a HELP/TYPE
+// declaration, or a well-formed sample.
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)( [0-9]+)?$`)
+)
+
+func TestExpositionLineGrammar(t *testing.T) {
+	var sb strings.Builder
+	reg := buildTestRegistry()
+	// Exercise escaping through the lint too.
+	reg.Counter("esc_total", "path", `a"b\c`+"\nd").Inc()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if helpRe.MatchString(line) || typeRe.MatchString(line) || sampleRe.MatchString(line) {
+			continue
+		}
+		t.Fatalf("line fails exposition grammar: %q", line)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts integer-valued observations into fixed buckets. Bounds
+// are inclusive upper bounds in ascending order; one implicit overflow
+// bucket catches everything above the last bound. Counts and the sum are
+// exact integers, which is the property the fleet's shard merging needs:
+// snapshots from any number of shards, merged in any order, are identical
+// to single-process accumulation (no float accumulation order to replay).
+//
+// Values are raw int64s in whatever unit the caller picks; scale converts
+// that unit to the exposition unit (1e-9 for nanosecond observations
+// exposed as Prometheus-conventional seconds).
+type Histogram struct {
+	bounds []int64
+	scale  float64
+	sum    atomic.Int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+}
+
+// NewHistogram returns a histogram over the given ascending inclusive
+// upper bounds, exposed with the given unit scale (0 → 1).
+func NewHistogram(bounds []int64, scale float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		scale:  scale,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// DurationBuckets is the default latency bucket layout in nanoseconds:
+// 100µs to 10s, roughly 1-2.5-5 per decade. Captures land in the sub-ms
+// buckets, per-device inference in the ms range, HTTP requests and shard
+// round trips above that.
+func DurationBuckets() []int64 {
+	return []int64{
+		100_000, 250_000, 500_000, // 100µs 250µs 500µs
+		1_000_000, 2_500_000, 5_000_000, // 1ms 2.5ms 5ms
+		10_000_000, 25_000_000, 50_000_000, // 10ms 25ms 50ms
+		100_000_000, 250_000_000, 500_000_000, // 100ms 250ms 500ms
+		1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000, // 1s 2.5s 5s 10s
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; sort.Search is fine here but
+	// an inlined loop avoids the closure allocation on the capture path.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Nanoseconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Snapshot copies the histogram's current state. Under concurrent Observe
+// the snapshot is not a single atomic cut, but every count it includes was
+// really observed and none is lost — for quiesced histograms (a finished
+// shard) it is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Scale:  h.scale,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a histogram's portable state: per-bucket counts
+// (last entry = overflow), the exact integer sum, bounds and scale. It is
+// the mergeable wire form for cross-shard aggregation.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Scale  float64 `json:"scale,omitempty"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+}
+
+// Merge folds other into s. Bucket layouts must match; counts and sums add
+// exactly, so merging N shard snapshots in any order equals single-process
+// accumulation.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) || len(s.Counts) != len(other.Counts) {
+		return fmt.Errorf("obs: merging histograms with different bucket layouts (%d vs %d bounds)", len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if other.Bounds[i] != b {
+			return fmt.Errorf("obs: merging histograms with different bounds at bucket %d", i)
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	return nil
+}
+
+// Total returns the snapshot's observation count.
+func (s HistogramSnapshot) Total() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an estimate of the q-quantile (0..1) by linear
+// interpolation inside the containing bucket, in the exposition unit
+// (i.e. scaled). The overflow bucket reports its lower bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		scale := s.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if i >= len(s.Bounds) { // overflow bucket: no upper bound to lerp to
+			return float64(s.Bounds[len(s.Bounds)-1]) * scale
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return float64(hi) * scale
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return (float64(lo) + frac*float64(hi-lo)) * scale
+	}
+	return float64(s.Bounds[len(s.Bounds)-1]) * s.scaleOr1()
+}
+
+func (s HistogramSnapshot) scaleOr1() float64 {
+	if s.Scale == 0 {
+		return 1
+	}
+	return s.Scale
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, LevelInfo, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedClock(l)
+	l.Infof("run %d admitted", 3)
+	l.Errorf("boom")
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	var rec logLine
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if rec.Level != "info" || rec.Msg != "run 3 admitted" {
+		t.Fatalf("record %+v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec.TS); err != nil {
+		t.Fatalf("bad timestamp %q: %v", rec.TS, err)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l, _ := NewLogger(&sb, LevelWarn, FormatText)
+	l.Debugf("d")
+	l.Infof("i")
+	l.Warnf("w")
+	l.Errorf("e")
+	out := sb.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Fatalf("below-level lines leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Fatalf("missing at-level lines:\n%s", out)
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var sb strings.Builder
+	l, _ := NewLogger(&sb, LevelDebug, "")
+	fixedClock(l)
+	l.Infof("hello %s", "world")
+	want := "2026-08-07T12:00:00Z INFO hello world\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.Debugf("x")
+	l.Infof("x")
+	l.Warnf("x")
+	l.Errorf("x")
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"": LevelInfo, "debug": LevelDebug, "info": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, LevelInfo, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

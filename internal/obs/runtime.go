@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeGauges registers Go runtime health gauges in reg and samples
+// them every interval (0 → 5s) until the returned stop function is called.
+// One immediate sample runs before returning, so /metrics is never empty of
+// them. Gauges:
+//
+//	go_goroutines              current goroutine count
+//	go_heap_alloc_bytes        live heap bytes
+//	go_heap_objects            live heap object count
+//	go_gc_cycles_total         completed GC cycles (gauge: sampled, not counted)
+//	go_gc_pause_total_seconds  cumulative stop-the-world pause time
+//
+// runtime.ReadMemStats stops the world briefly, which is why sampling is
+// periodic rather than on-scrape.
+func StartRuntimeGauges(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	reg.Describe("go_goroutines", "Current number of goroutines.")
+	reg.Describe("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.Describe("go_heap_objects", "Number of allocated heap objects.")
+	reg.Describe("go_gc_cycles_total", "Completed GC cycles.")
+	reg.Describe("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+	goroutines := reg.Gauge("go_goroutines")
+	heapAlloc := reg.Gauge("go_heap_alloc_bytes")
+	heapObjects := reg.Gauge("go_heap_objects")
+	gcCycles := reg.Gauge("go_gc_cycles_total")
+	gcPause := reg.Gauge("go_gc_pause_total_seconds")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	}
+	sample()
+
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

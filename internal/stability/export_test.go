@@ -44,10 +44,14 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		var records []*Record
 		for i := 0; i < 1+rng.Intn(20); i++ {
+			// TrueClass must be a function of (ItemID, Angle): two records
+			// landing on the same group with different labels is invalid
+			// input that GroupRecords panics on by design.
+			itemID, angle := rng.Intn(1000), rng.Intn(5)
 			r := &Record{
-				ItemID:    rng.Intn(1000),
-				Angle:     rng.Intn(5),
-				TrueClass: rng.Intn(5),
+				ItemID:    itemID,
+				Angle:     angle,
+				TrueClass: (itemID + angle) % 5,
 				Env:       []string{"a", "b", "c"}[rng.Intn(3)],
 				Pred:      rng.Intn(5),
 				Score:     float64(rng.Intn(1000)) / 1000,

@@ -9,6 +9,8 @@
 #   - BenchmarkCodecRoundtrip — the codec leg
 #   - BenchmarkBackendInfer — per-runtime inference (int8 vs float32 is the
 #     blocked-GEMM acceptance number)
+#   - BenchmarkObsOverhead — capture loop with telemetry off vs on (the
+#     off/on delta is the observability-tax acceptance number, target <2%)
 #   - BenchmarkSensorCapture — the mosaic loop per parameter combination
 #   - BenchmarkDemosaic — both interpolation kernels
 #
@@ -23,7 +25,7 @@ COUNT="${BENCH_COUNT:-1}"
 RAW="$(mktemp)"
 
 go test -run='^$' \
-  -bench='^(BenchmarkFleetCapture|BenchmarkSequentialRigCapture|BenchmarkCodecRoundtrip|BenchmarkBackendInfer)$' \
+  -bench='^(BenchmarkFleetCapture|BenchmarkSequentialRigCapture|BenchmarkCodecRoundtrip|BenchmarkBackendInfer|BenchmarkObsOverhead)$' \
   -benchmem -count "$COUNT" ./internal/fleet | tee "$RAW"
 go test -run='^$' -bench='^BenchmarkSensorCapture$' \
   -benchmem -count "$COUNT" ./internal/sensor | tee -a "$RAW"

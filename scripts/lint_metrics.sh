@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Promtool-free Prometheus text-exposition lint: validates the /metrics
+# output of a fleetd instance against the 0.0.4 line grammar plus the
+# structural rules scrapers rely on, using nothing but python3 regexes so CI
+# needs no extra tooling. The same grammar is enforced from the inside by
+# internal/obs/expose_test.go; this script checks the real HTTP output.
+#
+#   curl -fsS localhost:8470/metrics | ./scripts/lint_metrics.sh
+#   ./scripts/lint_metrics.sh exposition.txt
+#   ./scripts/lint_metrics.sh --selftest     # lint the linter (CI runs this)
+set -euo pipefail
+
+if [ "${1:-}" = "--selftest" ]; then
+  SELFTEST=1
+else
+  SELFTEST=0
+  INPUT="${1:-/dev/stdin}"
+fi
+
+export SELFTEST
+python3 - ${INPUT:-} <<'PY'
+import os, re, sys
+
+HELP_RE = re.compile(r'^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$')
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})?'
+    r' (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)( [0-9]+)?$')
+
+def lint(text):
+    """Return a list of problems with one exposition document."""
+    problems = []
+    types = {}       # family -> declared type
+    sample_names = []
+    for n, line in enumerate(text.split("\n"), 1):
+        if line == "":
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                problems.append(f"line {n}: malformed TYPE: {line!r}")
+                continue
+            if m.group(1) in types:
+                problems.append(f"line {n}: duplicate TYPE for {m.group(1)}")
+            types[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP ") and not HELP_RE.match(line):
+                problems.append(f"line {n}: malformed HELP: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {n}: malformed sample: {line!r}")
+            continue
+        sample_names.append((n, m.group(1)))
+
+    # Every sample must belong to a declared family; histogram families
+    # must emit the full _bucket/_sum/_count triple with a +Inf bucket.
+    def family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for n, name in sample_names:
+        if family(name) not in types:
+            problems.append(f"line {n}: sample {name} has no TYPE declaration")
+    emitted = {name for _, name in sample_names}
+    for fam, typ in types.items():
+        if typ != "histogram":
+            continue
+        for suffix in ("_bucket", "_sum", "_count"):
+            if fam + suffix not in emitted:
+                problems.append(f"histogram {fam} missing {fam}{suffix} samples")
+        if not re.search(
+            r'^%s_bucket(\{.*)?le="\+Inf"' % re.escape(fam), text, re.M
+        ):
+            problems.append(f"histogram {fam} has no +Inf bucket")
+    return problems
+
+if os.environ.get("SELFTEST") == "1":
+    good = """# HELP x_total Things.
+# TYPE x_total counter
+x_total{route="/v1/runs",code="200"} 3
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.3
+lat_seconds_count 2
+# TYPE g gauge
+g 1.5e-06
+esc_total_typeless 1
+"""
+    probs = lint(good)
+    # The one deliberate flaw: esc_total_typeless has no TYPE.
+    assert len(probs) == 1 and "no TYPE" in probs[0], probs
+    bad_cases = [
+        'x_total{bad-label="v"} 1',        # invalid label name
+        'x_total 1 2 3',                    # trailing garbage
+        '# TYPE x_total histogramish',      # unknown type
+        '1bad_name 2',                      # invalid metric name
+        'x_total{l="unterminated} 1',       # broken quoting
+    ]
+    for case in bad_cases:
+        assert lint("# TYPE x_total counter\n" + case + "\n") or "histogramish" in case, case
+        assert lint(case + "\n"), case
+    # A histogram missing its +Inf bucket must be flagged.
+    assert any("+Inf" in p for p in lint("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"))
+    print("lint_metrics selftest ok")
+    sys.exit(0)
+
+text = open(sys.argv[1]).read()
+problems = lint(text)
+if problems:
+    for p in problems:
+        print("lint_metrics:", p, file=sys.stderr)
+    sys.exit(1)
+lines = sum(1 for l in text.split("\n") if l and not l.startswith("#"))
+print(f"lint_metrics ok: {lines} samples well-formed")
+PY

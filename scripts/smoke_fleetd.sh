@@ -9,6 +9,7 @@
 #   ./scripts/smoke_fleetd.sh [bin]
 set -euo pipefail
 
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 BIN="${1:-}"
 if [ -z "$BIN" ]; then
   BIN="$(mktemp -d)/fleetd"
@@ -94,6 +95,51 @@ curl -fsS "$BASE/stats" >/dev/null
 curl -fsS "$BASE/runs" >/dev/null
 curl -fsS "$BASE/runs/$RUN_ID" >/dev/null
 echo "legacy ok"
+
+echo "== metrics exposition"
+# Captures run on the worker (the coordinator only dispatches shards), so the
+# capture instruments live in the worker's scrape; the coordinator's scrape
+# carries the HTTP middleware and run lifecycle series. Both must pass the
+# exposition lint.
+curl -fsS "localhost:$WORKER_PORT/metrics" >"$WORKDIR/worker.metrics"
+curl -fsS "localhost:$COORD_PORT/metrics" >"$WORKDIR/coord.metrics"
+"$SCRIPT_DIR/lint_metrics.sh" "$WORKDIR/worker.metrics"
+"$SCRIPT_DIR/lint_metrics.sh" "$WORKDIR/coord.metrics"
+python3 - "$WORKDIR/worker.metrics" "$WORKDIR/coord.metrics" <<'PY'
+import re, sys
+worker = open(sys.argv[1]).read()
+coord = open(sys.argv[2]).read()
+m = re.search(r"^fleet_captures_total (\d+)$", worker, re.M)
+assert m and int(m.group(1)) >= 20, "worker recorded no captures:\n" + worker
+for stage in ("sensor", "isp", "codec", "inference"):
+    s = re.search(r'^fleet_stage_seconds_count\{stage="%s"\} (\d+)$' % stage, worker, re.M)
+    assert s and int(s.group(1)) >= 20, "worker missing %s stage histogram" % stage
+assert re.search(r'^fleetd_shards_finished_total\{state="done"\} \d+$', worker, re.M), worker
+assert re.search(r'^fleetd_http_requests_total\{code="201",route="/v1/runs"\} \d+$', coord, re.M), coord
+assert re.search(r'^fleetd_runs_finished_total\{state="done"\} 1$', coord, re.M), coord
+assert "# TYPE fleetd_http_request_seconds histogram" in coord
+assert re.search(r"^go_goroutines \d+", coord, re.M), "runtime gauges absent"
+print("metrics ok: worker captures=%s" % m.group(1))
+PY
+
+echo "== cross-process trace"
+curl -fsS "$BASE/v1/runs/$RUN_ID/trace" >"$WORKDIR/trace.ndjson"
+python3 - "$WORKDIR/trace.ndjson" <<'PY'
+import json, sys
+spans = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+names = sorted(s["name"] for s in spans)
+for want in ("run", "run.admit", "run.probe", "run.merge", "shard.dispatch", "shard.execute"):
+    assert want in names, "trace missing %s span: %s" % (want, names)
+traces = {s["trace"] for s in spans}
+assert len(traces) == 1, "spans span multiple traces: %s" % traces
+by_id = {s["span"]: s for s in spans}
+for s in spans:
+    if s["name"] == "shard.execute":
+        parent = by_id.get(s.get("parent"))
+        assert parent and parent["name"] == "shard.dispatch", \
+            "shard.execute not parented on a dispatch span"
+print("trace ok: %d spans %s" % (len(spans), names))
+PY
 
 echo "== experiment (2-arm runtime sweep through the coordinator)"
 curl -fsS -X POST "$BASE/v1/experiments" \
