@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash"
+	"sync"
 
 	"repro/internal/imaging"
 )
@@ -31,7 +32,8 @@ type DecodeOptions struct {
 type Codec interface {
 	// Name identifies the format (e.g. "jpeg-q85").
 	Name() string
-	// Encode compresses the image. The returned Encoded is immutable.
+	// Encode compresses the image. The returned Encoded is immutable; a
+	// caller that drops every reference may recycle it with Release.
 	Encode(im *imaging.Image) *Encoded
 }
 
@@ -60,8 +62,15 @@ type Encoded struct {
 // Decode reconstructs the image. For lossy formats the result depends on
 // opts (chroma upsampling); PNG is bit-exact and ignores opts.
 func (e *Encoded) Decode(opts DecodeOptions) *imaging.Image {
+	return e.DecodeInto(opts, imaging.New(e.W, e.H))
+}
+
+// DecodeInto reconstructs the image into dst (dimensions W×H; every sample
+// is overwritten, so a dirty pooled image is fine) and returns it. This is
+// the allocation-free form the capture hot path uses with imaging.GetImage.
+func (e *Encoded) DecodeInto(opts DecodeOptions, dst *imaging.Image) *imaging.Image {
 	if e.raw != nil {
-		im, err := imaging.FromBytes(e.raw, e.W, e.H)
+		im, err := imaging.FromBytesInto(dst, e.raw, e.W, e.H)
 		if err != nil {
 			panic(fmt.Sprintf("codec: corrupt PNG payload: %v", err))
 		}
@@ -72,15 +81,32 @@ func (e *Encoded) Decode(opts DecodeOptions) *imaging.Image {
 	cb := decodePlane(&e.planes[1], grow(&s.planes[1], e.planes[1].w*e.planes[1].h), s)
 	cr := decodePlane(&e.planes[2], grow(&s.planes[2], e.planes[2].w*e.planes[2].h), s)
 	if e.subsampled {
-		cb = upsample2x(grow(&s.up[0], e.W*e.H), cb, e.planes[1].w, e.planes[1].h, e.W, e.H, opts.ChromaUpsample)
-		cr = upsample2x(grow(&s.up[1], e.W*e.H), cr, e.planes[2].w, e.planes[2].h, e.W, e.H, opts.ChromaUpsample)
+		cb = upsample2x(grow(&s.up[0], e.W*e.H), cb, e.planes[1].w, e.planes[1].h, e.W, e.H, opts.ChromaUpsample, s)
+		cr = upsample2x(grow(&s.up[1], e.W*e.H), cr, e.planes[2].w, e.planes[2].h, e.W, e.H, opts.ChromaUpsample, s)
 	}
-	yc := &imaging.YCbCr{W: e.W, H: e.H, Y: y, Cb: cb, Cr: cr}
-	im := yc.ToRGB()
-	scratchPool.Put(s) // ToRGB copied the planes out; the buffers are free
-	// Decoders emit 8-bit pixels; quantize so downstream hashing matches
-	// what a real gallery file would contain.
-	return im.Clamp().Quantize8()
+	yc := imaging.YCbCr{W: e.W, H: e.H, Y: y, Cb: cb, Cr: cr}
+	// Decoders emit 8-bit pixels; the fused conversion quantizes in the
+	// same pass so downstream hashing matches what a real gallery file
+	// would contain (bit-identical to ToRGB().Clamp().Quantize8()).
+	im := yc.ToRGBQuant8Into(dst)
+	scratchPool.Put(s) // the conversion copied the planes out; buffers are free
+	return im
+}
+
+// encodedPool recycles lossy Encoded frames (including their coefficient
+// buffers) across captures. Every field is rewritten by encodeTransform
+// before the frame is visible to a caller.
+var encodedPool = sync.Pool{New: func() any { return &Encoded{planes: make([]planeData, 3)} }}
+
+// Release returns a frame obtained from a lossy Encode to the codec's pool.
+// Callers must drop every reference (including reads of e.Size) before
+// releasing; releasing is optional — unreleased frames are simply collected.
+// PNG frames are retained by their raw payload and are never pooled.
+func Release(e *Encoded) {
+	if e == nil || e.raw != nil || len(e.planes) != 3 {
+		return
+	}
+	encodedPool.Put(e)
 }
 
 // HashInto writes a canonical serialization of the encoded image into h, so
@@ -106,93 +132,119 @@ func (e *Encoded) HashInto(h hash.Hash) {
 	}
 }
 
-// encodePlane transforms and quantizes one channel with the given block size
-// and quant table. Samples outside the image are edge-padded. mid is
-// subtracted before the transform (0.5 for luma-in-[0,1], 0 for chroma).
-// Block scratch comes from s; only the coefficient buffer (which the
-// returned planeData retains) is allocated.
-func encodePlane(samples []float32, w, h, blockSize int, quant []float32, mid float32, s *scratch) planeData {
-	b := basisFor(blockSize)
-	zz := zigzagOrder(blockSize)
+// encodePlaneInto transforms and quantizes one channel with the given block
+// size and quant table, writing the result into p (whose coefficient buffer
+// is reused when large enough). Samples outside the image are edge-padded.
+// mid is subtracted before the transform (0.5 for luma-in-[0,1], 0 for
+// chroma). Block scratch comes from s; a warm pass allocates nothing.
+func encodePlaneInto(p *planeData, samples []float32, w, h, blockSize int, quant []float32, mid float32, s *scratch) {
+	zz := zigzagFor(blockSize)
 	bw := (w + blockSize - 1) / blockSize
 	bh := (h + blockSize - 1) / blockSize
 	n2 := blockSize * blockSize
-	coeffs := make([]int32, bw*bh*n2)
+	coeffs := growInt32(&p.coeffs, bw*bh*n2)
 	block := grow(&s.block, n2)
 	freq := grow(&s.freq, n2)
 	bi := 0
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			for yy := 0; yy < blockSize; yy++ {
-				sy := by*blockSize + yy
-				if sy >= h {
-					sy = h - 1
-				}
-				for xx := 0; xx < blockSize; xx++ {
-					sx := bx*blockSize + xx
-					if sx >= w {
-						sx = w - 1
-					}
-					block[yy*blockSize+xx] = samples[sy*w+sx] - mid
-				}
-			}
-			b.forward2D(freq, block)
-			out := coeffs[bi*n2 : (bi+1)*n2]
-			for i, zi := range zz {
-				q := freq[zi] / quant[zi]
-				if q >= 0 {
-					out[i] = int32(q + 0.5)
-				} else {
-					out[i] = int32(q - 0.5)
-				}
-			}
+			loadBlock(block, samples, w, h, bx*blockSize, by*blockSize, blockSize, mid)
+			forward2D(blockSize, freq, block)
+			quantizeScan(coeffs[bi*n2:(bi+1)*n2], freq, quant, zz)
 			bi++
 		}
 	}
-	return planeData{w: w, h: h, blockSize: blockSize, quant: quant, coeffs: coeffs, mid: mid}
+	p.w, p.h, p.blockSize, p.quant, p.mid = w, h, blockSize, quant, mid
+	p.coeffs = coeffs
+}
+
+// loadBlock copies an n×n block at (x0,y0) into block, level-shifted by mid.
+// Interior blocks take the row-sliced path (no per-sample clamps — identical
+// values, the clamp never fires inside the image); edge blocks pad by
+// clamping to the last row/column exactly as the reference loop did.
+func loadBlock(block, samples []float32, w, h, x0, y0, n int, mid float32) {
+	if x0+n <= w && y0+n <= h {
+		for yy := 0; yy < n; yy++ {
+			src := samples[(y0+yy)*w+x0 : (y0+yy)*w+x0+n]
+			dst := block[yy*n : yy*n+n]
+			for i := range dst {
+				dst[i] = src[i] - mid
+			}
+		}
+		return
+	}
+	for yy := 0; yy < n; yy++ {
+		sy := y0 + yy
+		if sy >= h {
+			sy = h - 1
+		}
+		for xx := 0; xx < n; xx++ {
+			sx := x0 + xx
+			if sx >= w {
+				sx = w - 1
+			}
+			block[yy*n+xx] = samples[sy*w+sx] - mid
+		}
+	}
 }
 
 // decodePlane dequantizes and inverse-transforms one channel into out
 // (length p.w*p.h, fully overwritten); block scratch comes from s.
 func decodePlane(p *planeData, out []float32, s *scratch) []float32 {
-	b := basisFor(p.blockSize)
-	zz := zigzagOrder(p.blockSize)
-	n2 := p.blockSize * p.blockSize
+	n := p.blockSize
+	zz := zigzagFor(n)
+	n2 := n * n
 	freq := grow(&s.freq, n2)
 	spatial := grow(&s.spatial, n2)
 	mid := p.mid
 	bi := 0
-	for by := 0; by*p.blockSize < p.h; by++ {
-		for bx := 0; bx*p.blockSize < p.w; bx++ {
-			cf := p.coeffs[bi*n2 : (bi+1)*n2]
-			for i := range freq {
-				freq[i] = 0
-			}
-			for i, zi := range zz {
-				freq[zi] = float32(cf[i]) * p.quant[zi]
-			}
-			b.inverse2D(spatial, freq)
-			for yy := 0; yy < p.blockSize; yy++ {
-				sy := by*p.blockSize + yy
-				if sy >= p.h {
-					continue
-				}
-				for xx := 0; xx < p.blockSize; xx++ {
-					sx := bx*p.blockSize + xx
-					if sx >= p.w {
-						continue
-					}
-					out[sy*p.w+sx] = spatial[yy*p.blockSize+xx] + mid
-				}
-			}
+	for by := 0; by*n < p.h; by++ {
+		for bx := 0; bx*n < p.w; bx++ {
+			dequantizeScan(freq, p.coeffs[bi*n2:(bi+1)*n2], p.quant, zz)
+			inverse2D(n, spatial, freq)
+			storeBlock(out, spatial, p.w, p.h, bx*n, by*n, n, mid)
 			bi++
 		}
 	}
 	return out
 }
 
+// storeBlock writes an n×n spatial block at (x0,y0) into out, adding the
+// level shift back; samples past the image edge are dropped. Interior blocks
+// take the row-sliced path.
+func storeBlock(out, spatial []float32, w, h, x0, y0, n int, mid float32) {
+	if x0+n <= w && y0+n <= h {
+		for yy := 0; yy < n; yy++ {
+			src := spatial[yy*n : yy*n+n]
+			dst := out[(y0+yy)*w+x0 : (y0+yy)*w+x0+n]
+			for i := range dst {
+				dst[i] = src[i] + mid
+			}
+		}
+		return
+	}
+	for yy := 0; yy < n; yy++ {
+		sy := y0 + yy
+		if sy >= h {
+			continue
+		}
+		for xx := 0; xx < n; xx++ {
+			sx := x0 + xx
+			if sx >= w {
+				continue
+			}
+			out[sy*w+sx] = spatial[yy*n+xx] + mid
+		}
+	}
+}
+
 // downsample2x box-averages a plane to half resolution (4:2:0 chroma) into
-// dst, which is fully overwritten (nil allocates).
+// dst, which is fully overwritten (nil allocates). Full 2×2 cells take the
+// row-sliced path — the accumulation order (top-left, top-right,
+// bottom-left, bottom-right) matches the reference dy/dx loop exactly, and
+// s/4 is the same division the reference's s/c performs with c == 4 — so
+// the fast path is bit-identical; ragged right/bottom edges fall back to
+// the counting loop.
 func downsample2x(dst, src []float32, w, h int) ([]float32, int, int) {
 	dw := (w + 1) / 2
 	dh := (h + 1) / 2
@@ -200,25 +252,30 @@ func downsample2x(dst, src []float32, w, h int) ([]float32, int, int) {
 		dst = make([]float32, dw*dh)
 	}
 	dst = dst[:dw*dh]
+	fw := w / 2 // full 2×2 columns
 	for y := 0; y < dh; y++ {
-		for x := 0; x < dw; x++ {
-			var s float32
-			var c float32
-			for dy := 0; dy < 2; dy++ {
-				sy := 2*y + dy
-				if sy >= h {
-					continue
-				}
-				for dx := 0; dx < 2; dx++ {
-					sx := 2*x + dx
-					if sx >= w {
-						continue
-					}
-					s += src[sy*w+sx]
-					c++
-				}
+		if 2*y+1 < h {
+			top := src[2*y*w : 2*y*w+w]
+			bot := src[(2*y+1)*w : (2*y+1)*w+w]
+			out := dst[y*dw : y*dw+dw]
+			for x := 0; x < fw; x++ {
+				s := top[2*x] + top[2*x+1] + bot[2*x] + bot[2*x+1]
+				out[x] = s / 4
 			}
-			dst[y*dw+x] = s / c
+			if fw < dw { // odd width: last cell has one column
+				s := top[w-1] + bot[w-1]
+				out[dw-1] = s / 2
+			}
+			continue
+		}
+		// Last row of an odd-height plane: one source row per cell.
+		row := src[2*y*w : 2*y*w+w]
+		out := dst[y*dw : y*dw+dw]
+		for x := 0; x < fw; x++ {
+			out[x] = (row[2*x] + row[2*x+1]) / 2
+		}
+		if fw < dw {
+			out[dw-1] = row[w-1] // c == 1: the average is the sample
 		}
 	}
 	return dst, dw, dh
@@ -226,8 +283,9 @@ func downsample2x(dst, src []float32, w, h int) ([]float32, int, int) {
 
 // upsample2x reconstructs a full-resolution plane from half-resolution
 // chroma into dst, which is fully overwritten (nil allocates), with the
-// decoder-dependent filter choice.
-func upsample2x(dst, src []float32, sw, sh, w, h int, mode UpsampleMode) []float32 {
+// decoder-dependent filter choice. s provides scratch for the hoisted
+// horizontal taps (nil allocates them).
+func upsample2x(dst, src []float32, sw, sh, w, h int, mode UpsampleMode, s *scratch) []float32 {
 	if dst == nil {
 		dst = make([]float32, w*h)
 	}
@@ -238,18 +296,50 @@ func upsample2x(dst, src []float32, sw, sh, w, h int, mode UpsampleMode) []float
 			if sy >= sh {
 				sy = sh - 1
 			}
+			row := src[sy*sw : sy*sw+sw]
+			out := dst[y*w : y*w+w]
 			for x := 0; x < w; x++ {
 				sx := x / 2
 				if sx >= sw {
 					sx = sw - 1
 				}
-				dst[y*w+x] = src[sy*sw+sx]
+				out[x] = row[sx]
 			}
 		}
 		return dst
 	}
 	// Triangle-filter ("fancy") upsampling: each output sample is a 3:1
-	// blend of the two nearest chroma samples along each axis.
+	// blend of the two nearest chroma samples along each axis. The
+	// horizontal taps (x0, x1, wx) depend only on x, so they are computed
+	// once per call instead of once per pixel — the same expressions on the
+	// same inputs yield the same floats, so hoisting is bit-identical.
+	var x0s, x1s []int
+	var wxs []float32
+	if s != nil {
+		x0s = growInts(&s.upx0, w)
+		x1s = growInts(&s.upx1, w)
+		wxs = grow(&s.upwx, w)
+	} else {
+		x0s = make([]int, w)
+		x1s = make([]int, w)
+		wxs = make([]float32, w)
+	}
+	for x := 0; x < w; x++ {
+		fx := (float32(x)+0.5)/2 - 0.5
+		x0 := int(fx)
+		if fx < 0 {
+			x0 = 0
+		}
+		x1 := x0 + 1
+		if x1 >= sw {
+			x1 = sw - 1
+		}
+		wx := fx - float32(x0)
+		if wx < 0 {
+			wx = 0
+		}
+		x0s[x], x1s[x], wxs[x] = x0, x1, wx
+	}
 	for y := 0; y < h; y++ {
 		fy := (float32(y)+0.5)/2 - 0.5
 		y0 := int(fy)
@@ -264,27 +354,18 @@ func upsample2x(dst, src []float32, sw, sh, w, h int, mode UpsampleMode) []float
 		if wy < 0 {
 			wy = 0
 		}
+		rowT := src[y0*sw : y0*sw+sw]
+		rowB := src[y1*sw : y1*sw+sw]
+		out := dst[y*w : y*w+w]
 		for x := 0; x < w; x++ {
-			fx := (float32(x)+0.5)/2 - 0.5
-			x0 := int(fx)
-			if fx < 0 {
-				x0 = 0
-			}
-			x1 := x0 + 1
-			if x1 >= sw {
-				x1 = sw - 1
-			}
-			wx := fx - float32(x0)
-			if wx < 0 {
-				wx = 0
-			}
-			v00 := src[y0*sw+x0]
-			v01 := src[y0*sw+x1]
-			v10 := src[y1*sw+x0]
-			v11 := src[y1*sw+x1]
+			x0, x1, wx := x0s[x], x1s[x], wxs[x]
+			v00 := rowT[x0]
+			v01 := rowT[x1]
+			v10 := rowB[x0]
+			v11 := rowB[x1]
 			top := v00 + (v01-v00)*wx
 			bot := v10 + (v11-v10)*wx
-			dst[y*w+x] = top + (bot-top)*wy
+			out[x] = top + (bot-top)*wy
 		}
 	}
 	return dst
@@ -304,10 +385,13 @@ func entropyBits(p *planeData) int {
 		prevDC = cf[0]
 		bits += 3 + magnitudeBits(dcDiff)
 		run := 0
+		// Quantized AC blocks end in a long zero tail; scanning backward
+		// finds the last nonzero in a handful of steps instead of n².
 		lastNZ := 0
-		for i := 1; i < n2; i++ {
+		for i := n2 - 1; i >= 1; i-- {
 			if cf[i] != 0 {
 				lastNZ = i
+				break
 			}
 		}
 		for i := 1; i <= lastNZ; i++ {

@@ -39,7 +39,6 @@ func smoothImage(w, h int) *imaging.Image {
 
 func TestDCTRoundTripIdentity(t *testing.T) {
 	for _, n := range []int{4, 8, 16} {
-		b := basisFor(n)
 		rng := rand.New(rand.NewSource(int64(n)))
 		src := make([]float32, n*n)
 		for i := range src {
@@ -47,8 +46,8 @@ func TestDCTRoundTripIdentity(t *testing.T) {
 		}
 		freq := make([]float32, n*n)
 		back := make([]float32, n*n)
-		b.forward2D(freq, src)
-		b.inverse2D(back, freq)
+		forward2D(n, freq, src)
+		inverse2D(n, back, freq)
 		for i := range src {
 			if math.Abs(float64(src[i]-back[i])) > 1e-4 {
 				t.Fatalf("n=%d: DCT round trip lost %v vs %v at %d", n, src[i], back[i], i)
@@ -59,14 +58,13 @@ func TestDCTRoundTripIdentity(t *testing.T) {
 
 func TestDCTEnergyPreservation(t *testing.T) {
 	// Orthonormal transform: sum of squares is preserved (Parseval).
-	b := basisFor(8)
 	rng := rand.New(rand.NewSource(2))
 	src := make([]float32, 64)
 	for i := range src {
 		src[i] = float32(rng.NormFloat64())
 	}
 	freq := make([]float32, 64)
-	b.forward2D(freq, src)
+	forward2D(8, freq, src)
 	var e1, e2 float64
 	for i := range src {
 		e1 += float64(src[i]) * float64(src[i])
@@ -78,13 +76,12 @@ func TestDCTEnergyPreservation(t *testing.T) {
 }
 
 func TestDCTConstantBlockIsDCOnly(t *testing.T) {
-	b := basisFor(8)
 	src := make([]float32, 64)
 	for i := range src {
 		src[i] = 0.5
 	}
 	freq := make([]float32, 64)
-	b.forward2D(freq, src)
+	forward2D(8, freq, src)
 	if math.Abs(float64(freq[0])-0.5*8) > 1e-4 {
 		t.Fatalf("DC coefficient %v, want 4", freq[0])
 	}
@@ -303,7 +300,7 @@ func TestDownUpsampleRoundTrip(t *testing.T) {
 	if dw != 8 || dh != 8 {
 		t.Fatalf("downsampled dims %dx%d", dw, dh)
 	}
-	up := upsample2x(nil, down, dw, dh, w, h, UpsampleBilinear)
+	up := upsample2x(nil, down, dw, dh, w, h, UpsampleBilinear, nil)
 	for i := range src {
 		if math.Abs(float64(src[i]-up[i])) > 0.05 {
 			t.Fatalf("round trip error %v at %d", src[i]-up[i], i)
@@ -313,7 +310,7 @@ func TestDownUpsampleRoundTrip(t *testing.T) {
 
 func TestUpsampleNearestReplicates(t *testing.T) {
 	src := []float32{1, 2, 3, 4}
-	up := upsample2x(nil, src, 2, 2, 4, 4, UpsampleNearest)
+	up := upsample2x(nil, src, 2, 2, 4, 4, UpsampleNearest, nil)
 	if up[0] != 1 || up[1] != 1 || up[4] != 1 || up[5] != 1 {
 		t.Fatalf("nearest upsample top-left block %v", up[:6])
 	}

@@ -4,13 +4,28 @@ import (
 	"bytes"
 	"compress/zlib"
 	"fmt"
+	"sync"
 
 	"repro/internal/imaging"
 )
 
+// quantTables lazily derives and caches a codec instance's quant tables.
+// The derivation (quality scaling, resampling, flattening) only depends on
+// the immutable Quality field, so computing it once per codec instead of
+// once per Encode is behaviour-preserving; sync.Once makes the cache safe
+// under the fleet's concurrent captures. Embedding it makes the codec
+// structs non-copyable (go vet copylocks) — they are only used behind the
+// New* constructor pointers.
+type quantTables struct {
+	once         sync.Once
+	luma, chroma []float32
+	name         string // cached Name() — Sprintf is off the per-capture path
+}
+
 // JPEGLike is the 8×8-DCT 4:2:0 codec with libjpeg quality semantics.
 type JPEGLike struct {
 	Quality int
+	tables  quantTables
 }
 
 // NewJPEG returns a JPEG-like codec at the given quality (1..100).
@@ -21,8 +36,11 @@ func (c *JPEGLike) Name() string { return fmt.Sprintf("jpeg-q%d", c.Quality) }
 
 // Encode implements Codec.
 func (c *JPEGLike) Encode(im *imaging.Image) *Encoded {
-	luma, chroma := jpegTables(c.Quality)
-	return encodeTransform(im, "jpeg", c.Name(), 8, luma, chroma, true, 600)
+	c.tables.once.Do(func() {
+		c.tables.luma, c.tables.chroma = jpegTables(c.Quality)
+		c.tables.name = c.Name()
+	})
+	return encodeTransform(im, "jpeg", c.tables.name, 8, c.tables.luma, c.tables.chroma, true, 600)
 }
 
 // WebPLike is a 4×4 transform codec with per-block DC prediction and a
@@ -30,6 +48,7 @@ func (c *JPEGLike) Encode(im *imaging.Image) *Encoded {
 // compresses harder than JPEG at similar quality settings.
 type WebPLike struct {
 	Quality int
+	tables  quantTables
 }
 
 // NewWebP returns a WebP-like codec (default quality 75, the format's
@@ -41,23 +60,27 @@ func (c *WebPLike) Name() string { return fmt.Sprintf("webp-q%d", c.Quality) }
 
 // Encode implements Codec.
 func (c *WebPLike) Encode(im *imaging.Image) *Encoded {
-	// WebP's effective quantization at a given "quality" knob is more
-	// aggressive than JPEG's; shift the quality mapping down.
-	q := c.Quality - 12
-	if q < 1 {
-		q = 1
-	}
-	lumaBase := flattenTable(resampleTable8(jpegLumaQ8[:], 4), 0.35)
-	chromaBase := flattenTable(resampleTable8(jpegChromaQ8[:], 4), 0.35)
-	luma := scaleTable(lumaBase, q)
-	chroma := scaleTable(chromaBase, q)
-	for i := range luma {
-		luma[i] /= 255
-	}
-	for i := range chroma {
-		chroma[i] /= 255
-	}
-	e := encodeTransform(im, "webp", c.Name(), 4, luma, chroma, true, 300)
+	c.tables.once.Do(func() {
+		// WebP's effective quantization at a given "quality" knob is more
+		// aggressive than JPEG's; shift the quality mapping down.
+		q := c.Quality - 12
+		if q < 1 {
+			q = 1
+		}
+		lumaBase := flattenTable(resampleTable8(jpegLumaQ8[:], 4), 0.35)
+		chromaBase := flattenTable(resampleTable8(jpegChromaQ8[:], 4), 0.35)
+		luma := scaleTable(lumaBase, q)
+		chroma := scaleTable(chromaBase, q)
+		for i := range luma {
+			luma[i] /= 255
+		}
+		for i := range chroma {
+			chroma[i] /= 255
+		}
+		c.tables.luma, c.tables.chroma = luma, chroma
+		c.tables.name = c.Name()
+	})
+	e := encodeTransform(im, "webp", c.tables.name, 4, c.tables.luma, c.tables.chroma, true, 300)
 	// VP8 couples the transform with spatial intra prediction and
 	// arithmetic coding; our 4×4 codec reproduces the quantization
 	// behaviour but not the predictive coding gain, so the size model
@@ -73,6 +96,7 @@ func (c *WebPLike) Encode(im *imaging.Image) *Encoded {
 // like real HEIF it achieves roughly half of JPEG's size at similar quality.
 type HEIFLike struct {
 	Quality int
+	tables  quantTables
 }
 
 // NewHEIF returns an HEIF-like codec.
@@ -83,42 +107,51 @@ func (c *HEIFLike) Name() string { return fmt.Sprintf("heif-q%d", c.Quality) }
 
 // Encode implements Codec.
 func (c *HEIFLike) Encode(im *imaging.Image) *Encoded {
-	lumaBase := flattenTable(resampleTable8(jpegLumaQ8[:], 16), 0.5)
-	chromaBase := flattenTable(resampleTable8(jpegChromaQ8[:], 16), 0.5)
-	luma := scaleTable(lumaBase, c.Quality)
-	chroma := scaleTable(chromaBase, c.Quality)
-	for i := range luma {
-		luma[i] /= 255
-	}
-	for i := range chroma {
-		chroma[i] /= 255
-	}
-	e := encodeTransform(im, "heif", c.Name(), 16, luma, chroma, true, 400)
+	c.tables.once.Do(func() {
+		lumaBase := flattenTable(resampleTable8(jpegLumaQ8[:], 16), 0.5)
+		chromaBase := flattenTable(resampleTable8(jpegChromaQ8[:], 16), 0.5)
+		luma := scaleTable(lumaBase, c.Quality)
+		chroma := scaleTable(chromaBase, c.Quality)
+		for i := range luma {
+			luma[i] /= 255
+		}
+		for i := range chroma {
+			chroma[i] /= 255
+		}
+		c.tables.luma, c.tables.chroma = luma, chroma
+		c.tables.name = c.Name()
+	})
+	e := encodeTransform(im, "heif", c.tables.name, 16, c.tables.luma, c.tables.chroma, true, 400)
 	// CABAC-style coding: ~35% below the Huffman estimate.
 	e.Size = e.Size * 65 / 100
 	return e
 }
 
-// encodeTransform is the shared lossy encode path.
+// encodeTransform is the shared lossy encode path. The returned frame comes
+// from the codec pool: callers that drop all references may hand it back
+// with Release to make the next capture's encode allocation-free.
 func encodeTransform(im *imaging.Image, format, name string, blockSize int, luma, chroma []float32, subsample bool, headerBytes int) *Encoded {
-	yc := imaging.RGBToYCbCr(im)
-	e := &Encoded{Format: name, W: im.W, H: im.H, subsampled: subsample}
 	s := scratchPool.Get().(*scratch)
-	yPlane := encodePlane(yc.Y, im.W, im.H, blockSize, luma, 0.5, s)
-	var cbPlane, crPlane planeData
+	n := im.W * im.H
+	y := grow(&s.ycc[0], n)
+	cbFull := grow(&s.ycc[1], n)
+	crFull := grow(&s.ycc[2], n)
+	imaging.RGBToYCbCrInto(im, y, cbFull, crFull)
+	e := encodedPool.Get().(*Encoded)
+	e.Format, e.W, e.H, e.subsampled, e.raw = name, im.W, im.H, subsample, nil
+	encodePlaneInto(&e.planes[0], y, im.W, im.H, blockSize, luma, 0.5, s)
 	if subsample {
 		halfLen := ((im.W + 1) / 2) * ((im.H + 1) / 2)
-		cb, cw, ch := downsample2x(grow(&s.planes[0], halfLen), yc.Cb, im.W, im.H)
-		cr, _, _ := downsample2x(grow(&s.planes[1], halfLen), yc.Cr, im.W, im.H)
-		cbPlane = encodePlane(cb, cw, ch, blockSize, chroma, 0, s)
-		crPlane = encodePlane(cr, cw, ch, blockSize, chroma, 0, s)
+		cb, cw, ch := downsample2x(grow(&s.planes[0], halfLen), cbFull, im.W, im.H)
+		cr, _, _ := downsample2x(grow(&s.planes[1], halfLen), crFull, im.W, im.H)
+		encodePlaneInto(&e.planes[1], cb, cw, ch, blockSize, chroma, 0, s)
+		encodePlaneInto(&e.planes[2], cr, cw, ch, blockSize, chroma, 0, s)
 	} else {
-		cbPlane = encodePlane(yc.Cb, im.W, im.H, blockSize, chroma, 0, s)
-		crPlane = encodePlane(yc.Cr, im.W, im.H, blockSize, chroma, 0, s)
+		encodePlaneInto(&e.planes[1], cbFull, im.W, im.H, blockSize, chroma, 0, s)
+		encodePlaneInto(&e.planes[2], crFull, im.W, im.H, blockSize, chroma, 0, s)
 	}
 	scratchPool.Put(s)
-	e.planes = []planeData{yPlane, cbPlane, crPlane}
-	bits := entropyBits(&yPlane) + entropyBits(&cbPlane) + entropyBits(&crPlane)
+	bits := entropyBits(&e.planes[0]) + entropyBits(&e.planes[1]) + entropyBits(&e.planes[2])
 	e.Size = headerBytes + (bits+7)/8
 	_ = format
 	return e

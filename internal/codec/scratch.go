@@ -15,6 +15,13 @@ type scratch struct {
 	planes [3][]float32
 	// up are the upsampled full-resolution chroma buffers of a decode.
 	up [2][]float32
+	// ycc are the full-resolution Y/Cb/Cr planes of an encode's color
+	// conversion.
+	ycc [3][]float32
+	// upx0/upx1/upwx are the hoisted horizontal taps of triangle-filter
+	// chroma upsampling.
+	upx0, upx1 []int
+	upwx       []float32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -23,6 +30,22 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 func grow(buf *[]float32, n int) []float32 {
 	if cap(*buf) < n {
 		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}
+
+// growInts is grow for index buffers.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// growInt32 is grow for coefficient buffers.
+func growInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
 	}
 	return (*buf)[:n]
 }

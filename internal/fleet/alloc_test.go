@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+)
+
+// Allocation ceilings for the three hot paths. These are regression guards,
+// not targets: the capture path measures 2 allocs (the returned image's
+// header + pixel buffer when the pool is cold), the recycled codec
+// roundtrip 0, and int8 inference 27. The ceilings leave slack only for
+// pool-refill noise under concurrent GC, so any new per-op allocation —
+// a dropped Into-variant, a fresh rand.Rand, an un-pooled scratch buffer —
+// trips the guard immediately.
+const (
+	captureAllocCeiling   = 8
+	roundtripAllocCeiling = 8
+	int8InferAllocCeiling = 27
+)
+
+// TestCaptureAllocCeiling pins the steady-state allocation count of one
+// fleet capture (sensor → fused ISP → codec → decode) with the returned
+// image recycled, as the runner does after inference.
+func TestCaptureAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; alloc counts are not steady-state")
+	}
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	devices := make([]*Device, 16)
+	for i := range devices {
+		devices[i] = gen.Device(i)
+	}
+	for _, it := range items {
+		for a := 0; a < benchAngles; a++ {
+			engine.Displayed(it, a)
+		}
+	}
+	// Warm every pool (arena, raw plane, ISP images, codec scratch) across
+	// the full device mix before measuring.
+	i := 0
+	capture := func() {
+		img, _ := engine.Capture(devices[i%len(devices)], items[i%benchItems], i%benchAngles)
+		imaging.PutImage(img)
+		i++
+	}
+	for n := 0; n < 64; n++ {
+		capture()
+	}
+	if avg := testing.AllocsPerRun(100, capture); avg > captureAllocCeiling {
+		t.Fatalf("capture allocates %.1f/op, ceiling %d", avg, captureAllocCeiling)
+	}
+}
+
+// TestCodecRoundtripAllocCeiling pins the recycled encode→decode loop: with
+// Release and DecodeInto the codec reaches steady state with zero
+// allocations per roundtrip.
+func TestCodecRoundtripAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; alloc counts are not steady-state")
+	}
+	items := dataset.GenerateHard(benchItems, 3).Items
+	gen := NewGenerator(7, 2, 256)
+	engine := NewEngine(7, 0, 0)
+	d := gen.Device(0)
+	img := engine.Displayed(items[0], 0)
+	roundtrip := func() {
+		enc := d.Profile.Codec.Encode(img)
+		out := enc.DecodeInto(d.Profile.Decode, imaging.GetImage(enc.W, enc.H))
+		codec.Release(enc)
+		imaging.PutImage(out)
+	}
+	for n := 0; n < 16; n++ {
+		roundtrip()
+	}
+	if avg := testing.AllocsPerRun(100, roundtrip); avg > roundtripAllocCeiling {
+		t.Fatalf("codec roundtrip allocates %.1f/op, ceiling %d", avg, roundtripAllocCeiling)
+	}
+}
+
+// TestInt8InferAllocCeiling pins the quantized inference path from PR 5's
+// reuseTensor work: 27 allocations per forward pass (one per layer's output
+// header plus the float64 logits), none proportional to batch or image
+// size.
+func TestInt8InferAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race; alloc counts are not steady-state")
+	}
+	backend := testFactory()(nn.RuntimeInt8)
+	in := backend.InputSize()
+	img := imaging.New(in, in)
+	rng := rand.New(rand.NewSource(9))
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float32()
+	}
+	x := imaging.BatchTensor([]*imaging.Image{img})
+	backend.Infer(x)
+	if avg := testing.AllocsPerRun(50, func() { backend.Infer(x) }); avg > int8InferAllocCeiling {
+		t.Fatalf("int8 Infer allocates %.1f/op, ceiling %d", avg, int8InferAllocCeiling)
+	}
+}
+
+// TestArenaRNGMatchesCellRNG proves the pooled, re-seeded arena RNG is
+// stream-identical to the fresh rand.New(rand.NewSource(seed)) the engine
+// used before capture arenas — the property that keeps arena reuse out of
+// the captured bytes.
+func TestArenaRNGMatchesCellRNG(t *testing.T) {
+	a := arenaPool.Get().(*captureArena)
+	defer arenaPool.Put(a)
+	for _, seed := range []int64{0, 1, -7, 1 << 40, mix(11, 2, 3, 4, 5)} {
+		fresh := cellRNG(seed)
+		reused := a.seed(mix(seed))
+		for i := 0; i < 1000; i++ {
+			if f, r := fresh.NormFloat64(), reused.NormFloat64(); f != r {
+				t.Fatalf("seed %d draw %d: fresh NormFloat64 %v, arena %v", seed, i, f, r)
+			}
+			if f, r := fresh.Float64(), reused.Float64(); f != r {
+				t.Fatalf("seed %d draw %d: fresh Float64 %v, arena %v", seed, i, f, r)
+			}
+			if f, r := fresh.Intn(1<<20), reused.Intn(1<<20); f != r {
+				t.Fatalf("seed %d draw %d: fresh Intn %v, arena %v", seed, i, f, r)
+			}
+		}
+	}
+}

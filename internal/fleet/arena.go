@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/sensor"
+)
+
+// captureArena bundles the per-capture state the engine reuses across cells:
+// the cell RNG (re-seeded, never re-allocated) and the raw Bayer frame the
+// sensor writes into. Arenas live in a pool rather than per worker so the
+// engine's public Capture stays free of worker plumbing; a Get/Put pair per
+// capture is two pointer swaps.
+type captureArena struct {
+	src rand.Source
+	rng *rand.Rand
+	raw *sensor.RawImage
+}
+
+var arenaPool = sync.Pool{New: func() any {
+	src := rand.NewSource(0)
+	return &captureArena{src: src, rng: rand.New(src), raw: new(sensor.RawImage)}
+}}
+
+// seed re-points the arena's RNG at one cell's stream and returns it.
+// rand.NewSource(s) is "allocate, then Seed(s)", so re-seeding the pooled
+// source yields exactly the stream a fresh rand.New(rand.NewSource(s))
+// would — the capture path draws only NormFloat64/Float64/Intn, which carry
+// no rand.Rand-level state across seeds (only Read does, and it is never
+// used here). Capture determinism therefore survives arena reuse by
+// construction; TestArenaRNGMatchesCellRNG pins it.
+func (a *captureArena) seed(s int64) *rand.Rand {
+	a.src.Seed(s)
+	return a.rng
+}

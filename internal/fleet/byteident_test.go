@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 )
@@ -58,6 +59,76 @@ func TestCaptureSweepByteIdenticalAcrossWorkers(t *testing.T) {
 				t.Fatalf("workers=%d: capture cell %d diverged from workers=1", workers, i)
 			}
 		}
+	}
+}
+
+// TestCaptureFormatSweepByteIdenticalAcrossWorkers forces the whole device
+// mix through each codec format in turn and repeats the worker sweep. The
+// synthesized fleet leans heavily on one or two formats, so the base sweep
+// alone would leave the other encode paths (and their per-instance cached
+// quant tables, now shared by concurrent workers) untested at fleet scale.
+func TestCaptureFormatSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	const (
+		devices = 30
+		items   = 2
+		angles  = 3
+	)
+	its := dataset.GenerateHard(items, 3).Items
+	gen := NewGenerator(11, 2, 64)
+
+	formats := []struct {
+		name string
+		mk   func() codec.Codec
+	}{
+		{"jpeg", func() codec.Codec { return codec.NewJPEG(82) }},
+		{"webp", func() codec.Codec { return codec.NewWebP(78) }},
+		{"heif", func() codec.Codec { return codec.NewHEIF(85) }},
+		{"png", func() codec.Codec { return codec.NewPNG() }},
+	}
+	for _, f := range formats {
+		t.Run(f.name, func(t *testing.T) {
+			// One codec instance per format, shared by all devices and all
+			// workers — exactly how profiles share codecs in a real fleet,
+			// and the arrangement that would expose a race in the lazily
+			// initialized quant tables.
+			shared := f.mk()
+			devs := make([]*Device, devices)
+			for i := range devs {
+				d := *gen.Device(i)
+				p := *d.Profile
+				p.Codec = shared
+				d.Profile = &p
+				devs[i] = &d
+			}
+			sweep := func(workers int) [][32]byte {
+				engine := NewEngine(11, 0, 0)
+				for _, it := range its {
+					for a := 0; a < angles; a++ {
+						engine.Displayed(it, a)
+					}
+				}
+				digests := make([][32]byte, devices*items*angles)
+				NewPool(workers).Run(len(digests), func(i int) {
+					d := devs[i/(items*angles)]
+					it := its[(i/angles)%items]
+					angle := i % angles
+					img, size := engine.Capture(d, it, angle)
+					buf := img.ToBytes()
+					buf = append(buf, byte(size), byte(size>>8), byte(size>>16))
+					digests[i] = sha256.Sum256(buf)
+				})
+				return digests
+			}
+			base := sweep(1)
+			for _, workers := range []int{4, 16} {
+				got := sweep(workers)
+				for i := range base {
+					if !bytes.Equal(base[i][:], got[i][:]) {
+						t.Fatalf("format=%s workers=%d: capture cell %d diverged from workers=1", f.name, workers, i)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -3,6 +3,7 @@ package fleet
 import (
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/imaging"
 )
@@ -68,16 +69,29 @@ func (e *Engine) Displayed(it *dataset.Item, angle int) *imaging.Image {
 // Capture photographs one cell: shared displayed frame → device sensor →
 // fused ISP → native codec → OS decode. It returns the decoded pixels (what
 // the device hands its model) and the compressed size in bytes.
+//
+// Every intermediate lives in a pooled arena: the cell RNG is a re-seeded
+// pooled rand.Rand (stream-identical to a fresh one), the raw frame and ISP
+// output recycle, and the codec's Encoded returns to its pool once the size
+// is read. The returned image comes from imaging.GetImage; callers on the
+// hot path hand it back with imaging.PutImage when done, other callers may
+// simply keep it.
 func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
 	if e.tele != nil {
 		return e.captureTimed(d, it, angle)
 	}
 	displayed := e.Displayed(it, angle)
-	rng := cellRNG(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle))
-	raw := d.Sensor.Capture(displayed, rng)
-	processed := d.ISP.Process(raw) // freshly allocated; Clamp in place is safe
+	a := arenaPool.Get().(*captureArena)
+	rng := a.seed(mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
+	raw := d.Sensor.CaptureInto(a.raw, displayed, rng)
+	processed := d.ISP.Process(raw) // pool-owned by this frame; Clamp in place is safe
 	enc := d.Profile.Codec.Encode(processed.Clamp())
-	return enc.Decode(d.Profile.Decode), enc.Size
+	imaging.PutImage(processed)
+	size := enc.Size
+	img := enc.DecodeInto(d.Profile.Decode, imaging.GetImage(enc.W, enc.H))
+	codec.Release(enc)
+	arenaPool.Put(a)
+	return img, size
 }
 
 // captureTimed is Capture with a clock read between stages. Kept separate so
@@ -85,18 +99,23 @@ func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image
 // RNG stream are identical — timing reads the clock and nothing else.
 func (e *Engine) captureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
 	displayed := e.Displayed(it, angle)
-	rng := cellRNG(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle))
+	a := arenaPool.Get().(*captureArena)
+	rng := a.seed(mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
 	t0 := time.Now()
-	raw := d.Sensor.Capture(displayed, rng)
+	raw := d.Sensor.CaptureInto(a.raw, displayed, rng)
 	t1 := time.Now()
 	processed := d.ISP.Process(raw)
 	t2 := time.Now()
 	enc := d.Profile.Codec.Encode(processed.Clamp())
-	img := enc.Decode(d.Profile.Decode)
+	imaging.PutImage(processed)
+	size := enc.Size
+	img := enc.DecodeInto(d.Profile.Decode, imaging.GetImage(enc.W, enc.H))
+	codec.Release(enc)
+	arenaPool.Put(a)
 	t3 := time.Now()
 	e.tele.Sensor.Observe(t1.Sub(t0).Nanoseconds())
 	e.tele.ISP.Observe(t2.Sub(t1).Nanoseconds())
 	e.tele.Codec.Observe(t3.Sub(t2).Nanoseconds())
 	e.tele.Captures.Inc()
-	return img, enc.Size
+	return img, size
 }

@@ -304,6 +304,11 @@ func (r *Runner) runDevice(worker, id int) {
 	if r.tele != nil {
 		r.tele.Inference.ObserveSince(inferStart)
 	}
+	// Evaluate copied every pixel into its input tensors; the capture images
+	// came from the image pool and can recycle for the next device.
+	for _, img := range images {
+		imaging.PutImage(img)
+	}
 	topks := train.TopKOf(probs, r.cfg.TopK)
 
 	slot := r.slots[id-r.cfg.DeviceLo]

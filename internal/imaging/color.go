@@ -16,31 +16,64 @@ type YCbCr struct {
 func RGBToYCbCr(im *Image) *YCbCr {
 	n := im.W * im.H
 	out := &YCbCr{W: im.W, H: im.H, Y: make([]float32, n), Cb: make([]float32, n), Cr: make([]float32, n), SubsampleX: 1, SubsampleY: 1}
+	RGBToYCbCrInto(im, out.Y, out.Cb, out.Cr)
+	return out
+}
+
+// RGBToYCbCrInto converts an RGB image into caller-provided planes (each of
+// length W·H, fully overwritten) — the allocation-free form the codec's
+// scratch buffers use.
+func RGBToYCbCrInto(im *Image, yp, cbp, crp []float32) {
+	n := im.W * im.H
+	yp, cbp, crp = yp[:n], cbp[:n], crp[:n]
 	r := im.Pix[:n]
 	g := im.Pix[n : 2*n]
 	b := im.Pix[2*n : 3*n]
 	for i := 0; i < n; i++ {
-		out.Y[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
-		out.Cb[i] = -0.168736*r[i] - 0.331264*g[i] + 0.5*b[i]
-		out.Cr[i] = 0.5*r[i] - 0.418688*g[i] - 0.081312*b[i]
+		yp[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+		cbp[i] = -0.168736*r[i] - 0.331264*g[i] + 0.5*b[i]
+		crp[i] = 0.5*r[i] - 0.418688*g[i] - 0.081312*b[i]
 	}
-	return out
 }
 
 // ToRGB converts YCbCr planes back to an RGB image (not clamped).
 func (yc *YCbCr) ToRGB() *Image {
-	im := New(yc.W, yc.H)
+	return yc.ToRGBInto(New(yc.W, yc.H))
+}
+
+// ToRGBInto converts YCbCr planes into dst (same dimensions, every sample
+// overwritten) and returns it.
+func (yc *YCbCr) ToRGBInto(dst *Image) *Image {
 	n := yc.W * yc.H
-	r := im.Pix[:n]
-	g := im.Pix[n : 2*n]
-	b := im.Pix[2*n : 3*n]
+	r := dst.Pix[:n]
+	g := dst.Pix[n : 2*n]
+	b := dst.Pix[2*n : 3*n]
 	for i := 0; i < n; i++ {
 		y, cb, cr := yc.Y[i], yc.Cb[i], yc.Cr[i]
 		r[i] = y + 1.402*cr
 		g[i] = y - 0.344136*cb - 0.714136*cr
 		b[i] = y + 1.772*cb
 	}
-	return im
+	return dst
+}
+
+// ToRGBQuant8Into converts YCbCr planes into dst with every sample snapped
+// to its 8-bit level, in one pass. Bit-identical to
+// ToRGBInto(dst).Clamp().Quantize8(): quant8 already clamps, and
+// Quantize8(Clamp(v)) == Quantize8(v) for every finite v. The codec decoder
+// uses this to drop two full-image passes.
+func (yc *YCbCr) ToRGBQuant8Into(dst *Image) *Image {
+	n := yc.W * yc.H
+	r := dst.Pix[:n]
+	g := dst.Pix[n : 2*n]
+	b := dst.Pix[2*n : 3*n]
+	for i := 0; i < n; i++ {
+		y, cb, cr := yc.Y[i], yc.Cb[i], yc.Cr[i]
+		r[i] = float32(quant8(y+1.402*cr)) / 255
+		g[i] = float32(quant8(y-0.344136*cb-0.714136*cr)) / 255
+		b[i] = float32(quant8(y+1.772*cb)) / 255
+	}
+	return dst
 }
 
 // RGBToHSV converts a single RGB triple (components in [0,1]) to hue

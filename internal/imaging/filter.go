@@ -5,23 +5,40 @@ import (
 	"sync"
 )
 
-// blurScratch recycles the intermediate plane buffer of the separable blur;
-// the fleet hot path blurs every capture (lens PSF and unsharp masking) and
-// the temporary otherwise dominates its allocation profile. The pool holds
-// pointers so Get/Put do not box the slice header on every call.
-var blurScratch = sync.Pool{New: func() any { return new([]float32) }}
+// blurScratch recycles the intermediate plane buffer and kernel of the
+// separable blur; the fleet hot path blurs every capture (lens PSF and
+// unsharp masking) and these temporaries otherwise dominate its allocation
+// profile.
+type blurBuffers struct {
+	tmp    []float32
+	kernel []float32
+}
+
+var blurScratch = sync.Pool{New: func() any { return new(blurBuffers) }}
 
 // GaussianBlur applies a separable Gaussian blur with the given sigma (in
 // pixels). Sigma <= 0 returns a copy.
 func GaussianBlur(im *Image, sigma float64) *Image {
+	return GaussianBlurInto(New(im.W, im.H), im, sigma)
+}
+
+// GaussianBlurInto blurs im into dst (same dimensions, every sample
+// overwritten) and returns dst — the allocation-free form for pooled
+// destinations. dst must not alias im. Sigma <= 0 copies.
+func GaussianBlurInto(dst, im *Image, sigma float64) *Image {
 	if sigma <= 0 {
-		return im.Clone()
+		copy(dst.Pix, im.Pix)
+		return dst
 	}
 	radius := int(math.Ceil(3 * sigma))
 	if radius < 1 {
 		radius = 1
 	}
-	kernel := make([]float32, 2*radius+1)
+	bufs := blurScratch.Get().(*blurBuffers)
+	if cap(bufs.kernel) < 2*radius+1 {
+		bufs.kernel = make([]float32, 2*radius+1)
+	}
+	kernel := bufs.kernel[:2*radius+1]
 	var sum float64
 	for i := -radius; i <= radius; i++ {
 		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
@@ -35,13 +52,12 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 
 	n := im.W * im.H
 	w, h := im.W, im.H
-	tmpBuf := blurScratch.Get().(*[]float32)
-	if cap(*tmpBuf) < 3*n {
-		*tmpBuf = make([]float32, 3*n)
+	if cap(bufs.tmp) < 3*n {
+		bufs.tmp = make([]float32, 3*n)
 	}
-	tmpPix := (*tmpBuf)[:3*n]
-	defer blurScratch.Put(tmpBuf)
-	out := New(w, h)
+	tmpPix := bufs.tmp[:3*n]
+	defer blurScratch.Put(bufs)
+	out := dst
 	// Both passes split a clamp-free interior from the clamped borders: the
 	// taps accumulate in the same ascending-k order either way, so the split
 	// is invisible in the output. The interior drops the per-tap clamp (and
@@ -163,11 +179,18 @@ func blurRowClamped(drow, src, kernel []float32, y, radius, w, h int) {
 // BoxBlur applies an r-radius box filter, the cheap denoiser used by some
 // ISP profiles.
 func BoxBlur(im *Image, r int) *Image {
+	return BoxBlurInto(New(im.W, im.H), im, r)
+}
+
+// BoxBlurInto box-filters im into dst (same dimensions, every sample
+// overwritten) and returns dst. dst must not alias im. r <= 0 copies.
+func BoxBlurInto(dst, im *Image, r int) *Image {
 	if r <= 0 {
-		return im.Clone()
+		copy(dst.Pix, im.Pix)
+		return dst
 	}
 	n := im.W * im.H
-	out := New(im.W, im.H)
+	out := dst
 	for p := 0; p < 3; p++ {
 		src := im.Pix[p*n:]
 		dst := out.Pix[p*n:]
@@ -209,9 +232,15 @@ func UnsharpMask(im *Image, sigma float64, amount float32) *Image {
 // MedianDenoise3 applies a 3×3 median filter per channel, an edge-preserving
 // denoiser used by the higher-end ISP profiles.
 func MedianDenoise3(im *Image) *Image {
+	return MedianDenoise3Into(New(im.W, im.H), im)
+}
+
+// MedianDenoise3Into median-filters im into dst (same dimensions, every
+// sample overwritten) and returns dst. dst must not alias im.
+func MedianDenoise3Into(dst, im *Image) *Image {
 	n := im.W * im.H
 	w := im.W
-	out := New(im.W, im.H)
+	out := dst
 	var window [9]float32
 	for p := 0; p < 3; p++ {
 		src := im.Pix[p*n:]

@@ -121,17 +121,22 @@ func (im *Image) ToBytes() []byte {
 
 // FromBytes builds an image from interleaved 8-bit RGB data.
 func FromBytes(data []byte, w, h int) (*Image, error) {
+	return FromBytesInto(New(w, h), data, w, h)
+}
+
+// FromBytesInto fills dst (dimensions w×h, every sample overwritten) from
+// interleaved 8-bit RGB data.
+func FromBytesInto(dst *Image, data []byte, w, h int) (*Image, error) {
 	if len(data) != 3*w*h {
 		return nil, fmt.Errorf("imaging: FromBytes: %d bytes for %dx%d (want %d)", len(data), w, h, 3*w*h)
 	}
-	im := New(w, h)
 	n := w * h
 	for i := 0; i < n; i++ {
-		im.Pix[i] = float32(data[3*i]) / 255
-		im.Pix[n+i] = float32(data[3*i+1]) / 255
-		im.Pix[2*n+i] = float32(data[3*i+2]) / 255
+		dst.Pix[i] = float32(data[3*i]) / 255
+		dst.Pix[n+i] = float32(data[3*i+1]) / 255
+		dst.Pix[2*n+i] = float32(data[3*i+2]) / 255
 	}
-	return im, nil
+	return dst, nil
 }
 
 func quant8(v float32) byte {

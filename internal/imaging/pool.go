@@ -1,0 +1,34 @@
+package imaging
+
+import "sync"
+
+// imagePool recycles Image structs and their pixel buffers across the
+// capture hot path (demosaic output, ISP stage ping-pong, decoded frames).
+// Pooled buffers are NOT zeroed: GetImage is only safe for producers that
+// overwrite every sample before anyone reads the image. Code that relies on
+// a zeroed canvas must keep using New.
+var imagePool = sync.Pool{New: func() any { return new(Image) }}
+
+// GetImage returns a pooled w×h image with undefined pixel contents. The
+// caller owns it until PutImage; every sample must be written before it is
+// read. Ownership transfers with the image — whoever retains it long-term
+// (a cache, a results slice) must not return it to the pool while readers
+// remain.
+func GetImage(w, h int) *Image {
+	im := imagePool.Get().(*Image)
+	n := 3 * w * h
+	if cap(im.Pix) < n {
+		im.Pix = make([]float32, n)
+	}
+	im.W, im.H, im.Pix = w, h, im.Pix[:n]
+	return im
+}
+
+// PutImage returns an image to the pool. The caller must hold the only
+// reference; the buffer is reused dirty by the next GetImage.
+func PutImage(im *Image) {
+	if im == nil {
+		return
+	}
+	imagePool.Put(im)
+}

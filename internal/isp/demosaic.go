@@ -136,9 +136,12 @@ func bilinearPlans(ctab [2][2]int, w int) (plans [2][2]bilinearClass) {
 	return plans
 }
 
-// demosaicBilinear averages same-color neighbours in a 3×3 window.
+// demosaicBilinear averages same-color neighbours in a 3×3 window. The
+// output comes from the image pool: every pixel of every channel is written
+// (bilinearBorderPixel writes an explicit 0 where a channel has no taps,
+// which on the zeroed images of the pre-pool code was a no-op).
 func demosaicBilinear(raw *sensor.RawImage) *imaging.Image {
-	im := imaging.New(raw.W, raw.H)
+	im := imaging.GetImage(raw.W, raw.H)
 	n := raw.W * raw.H
 	w, h := raw.W, raw.H
 	ctab := colorTable(raw)
@@ -199,6 +202,10 @@ func bilinearBorderPixel(raw *sensor.RawImage, im *imaging.Image, ctab [2][2]int
 	for c := 0; c < 3; c++ {
 		if cnt[c] > 0 {
 			im.Pix[c*n+i] = acc[c] / cnt[c]
+		} else {
+			// The pre-pool code left the zeroed allocation untouched here;
+			// pooled buffers are dirty, so write the 0 explicitly.
+			im.Pix[c*n+i] = 0
 		}
 	}
 	// keep the exact sample for the native color
@@ -251,7 +258,10 @@ func rbPlans(ctab [2][2]int, w int) (plans [2][2]rbClass) {
 func demosaicEdgeAware(raw *sensor.RawImage) *imaging.Image {
 	w, h := raw.W, raw.H
 	n := w * h
-	im := imaging.New(w, h)
+	// Pooled output: pass 1 writes every green sample (every Bayer row has a
+	// green parity) and pass 2 writes every red and blue sample, so no pixel
+	// reads the dirty buffer.
+	im := imaging.GetImage(w, h)
 	green := im.Pix[n : 2*n]
 
 	ctab := colorTable(raw)

@@ -26,8 +26,9 @@ type Fused struct {
 // fusedOp is one executable step; exactly one field is active (awbNext
 // optionally rides along with awb).
 type fusedOp struct {
-	stage   Stage // run as-is (denoise, unknown stages)
+	stage   Stage // run as-is (unknown stages)
 	sharpen *Sharpen
+	denoise *Denoise
 	awb     *WhiteBalance
 	// awbNext is a constant matrix immediately following the auto white
 	// balance; the runtime folds it into the data-dependent gain matrix so
@@ -131,6 +132,9 @@ func Fuse(p *Pipeline) *Fused {
 		case Sharpen:
 			flushAll()
 			f.ops = append(f.ops, fusedOp{sharpen: &s})
+		case Denoise:
+			flushAll()
+			f.ops = append(f.ops, fusedOp{denoise: &s})
 		default:
 			flushAll()
 			f.ops = append(f.ops, fusedOp{stage: s})
@@ -221,11 +225,27 @@ func (f *Fused) run(im *imaging.Image) *imaging.Image {
 		case op.sharpen != nil:
 			// Unsharp masking with the result written back in place: the
 			// same arithmetic as imaging.UnsharpMask without the output
-			// allocation.
-			blur := imaging.GaussianBlur(im, op.sharpen.Sigma)
+			// allocation. The blur lives in a pooled image for the pass.
+			blur := imaging.GaussianBlurInto(imaging.GetImage(im.W, im.H), im, op.sharpen.Sigma)
 			amount := op.sharpen.Amount
 			for i, v := range im.Pix {
 				im.Pix[i] = v + amount*(v-blur.Pix[i])
+			}
+			imaging.PutImage(blur)
+		case op.denoise != nil:
+			// The spatial denoisers cannot write in place (each output
+			// sample reads a neighbourhood of inputs), so they ping-pong
+			// through a pooled image instead of allocating one per frame.
+			// A box radius ≤ 0 is a plain copy in the interpreted stage;
+			// since run owns im, skipping it yields the same pixels.
+			if op.denoise.Median {
+				tmp := imaging.MedianDenoise3Into(imaging.GetImage(im.W, im.H), im)
+				imaging.PutImage(im)
+				im = tmp
+			} else if op.denoise.Radius > 0 {
+				tmp := imaging.BoxBlurInto(imaging.GetImage(im.W, im.H), im, op.denoise.Radius)
+				imaging.PutImage(im)
+				im = tmp
 			}
 		case op.awb != nil:
 			applyAutoWB(im, op.awb, op.awbNext)

@@ -124,20 +124,33 @@ func (s *captureScratch) grow(w int) {
 // caSampleFast. Every remaining operation matches the staged reference in
 // fused_test.go bit for bit.
 func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
+	return s.CaptureInto(new(RawImage), scene, rng)
+}
+
+// CaptureInto is Capture with a caller-provided frame whose plane buffer is
+// reused when large enough — the allocation-free form the fleet's capture
+// arenas use. Every header field and plane sample is overwritten.
+func (s *Sensor) CaptureInto(raw *RawImage, scene *imaging.Image, rng *rand.Rand) *RawImage {
 	p := s.Params
 	img := scene
 
 	// Optics: lens blur as a full-image pass; the lateral chromatic
 	// aberration and vignette are folded into the mosaic sampling below
 	// (each Bayer sample needs exactly one channel, so resampling and
-	// scaling whole planes first would be wasted work).
+	// scaling whole planes first would be wasted work). The blurred frame
+	// lives in a pooled image for the duration of the mosaic loop.
+	var blurred *imaging.Image
 	if p.BlurSigma > 0 {
-		img = imaging.GaussianBlur(img, p.BlurSigma)
+		blurred = imaging.GaussianBlurInto(imaging.GetImage(img.W, img.H), img, p.BlurSigma)
+		img = blurred
 	}
 
 	w, h := img.W, img.H
 	n := w * h
-	raw := &RawImage{W: w, H: h, Pattern: s.Pattern, Plane: make([]float32, n), Bits: p.BitDepth}
+	if cap(raw.Plane) < n {
+		raw.Plane = make([]float32, n)
+	}
+	raw.W, raw.H, raw.Pattern, raw.Plane, raw.Bits = w, h, s.Pattern, raw.Plane[:n], p.BitDepth
 	gains := [3]float64{p.GainR * p.Exposure, p.GainG * p.Exposure, p.GainB * p.Exposure}
 	levels := float64(int(1)<<p.BitDepth - 1)
 	// The Bayer color only depends on pixel parity; a 2×2 table replaces a
@@ -229,6 +242,9 @@ func (s *Sensor) Capture(scene *imaging.Image, rng *rand.Rand) *RawImage {
 		}
 	}
 	scratchPool.Put(sc)
+	if blurred != nil {
+		imaging.PutImage(blurred)
+	}
 	return raw
 }
 

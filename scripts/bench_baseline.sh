@@ -6,7 +6,9 @@
 #   - BenchmarkFleetCapture / BenchmarkSequentialRigCapture — end to end,
 #     fleet engine vs the five-phone rig (the speedup the subsystem exists
 #     for)
-#   - BenchmarkCodecRoundtrip — the codec leg
+#   - BenchmarkCodecRoundtrip — the codec leg end to end
+#   - BenchmarkEncode / BenchmarkDecode — the codec leg split per format
+#     (jpeg/webp/heif quant+DCT) and per chroma-upsample decoder variant
 #   - BenchmarkBackendInfer — per-runtime inference (int8 vs float32 is the
 #     blocked-GEMM acceptance number)
 #   - BenchmarkObsOverhead — capture loop with telemetry off vs on (the
@@ -27,6 +29,8 @@ RAW="$(mktemp)"
 go test -run='^$' \
   -bench='^(BenchmarkFleetCapture|BenchmarkSequentialRigCapture|BenchmarkCodecRoundtrip|BenchmarkBackendInfer|BenchmarkObsOverhead)$' \
   -benchmem -count "$COUNT" ./internal/fleet | tee "$RAW"
+go test -run='^$' -bench='^(BenchmarkEncode|BenchmarkDecode)$' \
+  -benchmem -count "$COUNT" ./internal/codec | tee -a "$RAW"
 go test -run='^$' -bench='^BenchmarkSensorCapture$' \
   -benchmem -count "$COUNT" ./internal/sensor | tee -a "$RAW"
 go test -run='^$' -bench='^BenchmarkDemosaic$' \
