@@ -17,6 +17,8 @@
 //	DELETE /v1/runs/{id}         cancel an in-flight run / evict a finished one
 //	GET    /v1/runs/{id}/stats   stats snapshot (deterministic once done)
 //	GET    /v1/runs/{id}/stream  NDJSON snapshots until completion
+//	POST   /v1/serve             serve one capture→classify under SLO-classed admission
+//	GET    /v1/slo               live per-class SLO report (attainment, sheds, quantiles)
 //	POST   /v1/shards            execute one device-range shard, return its state
 //	POST   /v1/experiments       create a multi-arm sweep (JSON ExperimentSpec)
 //	GET    /v1/experiments       list remembered experiments

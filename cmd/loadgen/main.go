@@ -1,0 +1,214 @@
+// Command loadgen drives fleetd's serving path with traffic-shaped,
+// open-loop load and turns the outcomes into SLO reports. Three subcommands
+// cover the workflow:
+//
+//	loadgen record -addr URL [-spec spec.json] [-seed N] -out trace.ndjson
+//	    Expand the workload spec into its deterministic schedule, fire it
+//	    open-loop at POST /v1/serve, write the NDJSON trace, and print the
+//	    trace's SLO report.
+//
+//	loadgen replay -addr URL -trace trace.ndjson [-out trace2.ndjson]
+//	    Re-fire a recorded trace's exact schedule (same offsets, same
+//	    cells) against a live instance and report the fresh outcomes.
+//
+//	loadgen report -trace trace.ndjson
+//	    Recompute the SLO report from a recorded trace, offline. The
+//	    report is a pure function of the trace bytes — byte-identical
+//	    however often and wherever it is recomputed.
+//
+// Without -spec, record fires the built-in two-cohort workload: an
+// interactive Poisson stream and a burstier batch stream, sized to finish in
+// a few seconds against a local instance. The SLO classes the report judges
+// against are fetched from the target's /v1/slo (so the report grades what
+// admission actually enforced), falling back to the stock classes offline.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleetapi"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(ctx, os.Args[2:])
+	case "replay":
+		err = replay(ctx, os.Args[2:])
+	case "report":
+		err = report(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: loadgen {record|replay|report} [flags]  (-h on a subcommand for details)")
+	os.Exit(2)
+}
+
+// defaultSpec is the built-in workload: a steady interactive stream plus a
+// bursty batch stream, ~5s of traffic.
+func defaultSpec() loadgen.WorkloadSpec {
+	return loadgen.WorkloadSpec{
+		Name: "default",
+		Seed: 7,
+		Cohorts: []loadgen.Cohort{
+			{Name: "interactive", Class: "interactive", RatePerSec: 60, Requests: 300},
+			{Name: "batch", Class: "batch", Dist: loadgen.DistGamma, Shape: 0.5, RatePerSec: 20, Requests: 100},
+		},
+	}
+}
+
+func record(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8470", "fleetd base URL")
+	specPath := fs.String("spec", "", "workload spec JSON file (empty: built-in two-cohort workload)")
+	seed := fs.Int64("seed", 0, "override the spec's seed (0 keeps it)")
+	out := fs.String("out", "trace.ndjson", "trace output path (- for stdout)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	fs.Parse(args)
+
+	spec := defaultSpec()
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = loadgen.WorkloadSpec{}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return fmt.Errorf("parse spec %s: %w", *specPath, err)
+		}
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	client := fleetapi.NewClient(*addr)
+	classes := serverClasses(ctx, client)
+	fmt.Fprintf(os.Stderr, "recording workload %q (seed %d, %d cohorts) against %s\n",
+		spec.Name, spec.Seed, len(spec.Cohorts), *addr)
+	h, events, err := loadgen.Record(ctx, client, spec, classes, loadgen.FireOptions{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	if err := writeTrace(*out, h, events); err != nil {
+		return err
+	}
+	return printReport(h.Classes, events)
+}
+
+func replay(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8470", "fleetd base URL")
+	tracePath := fs.String("trace", "", "recorded trace to replay (required)")
+	out := fs.String("out", "", "write the replayed trace here (empty: report only)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	h, events, err := readTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d recorded requests against %s\n", len(events), *addr)
+	h2, replayed := loadgen.Replay(ctx, fleetapi.NewClient(*addr), h, events, loadgen.FireOptions{Timeout: *timeout})
+	if *out != "" {
+		if err := writeTrace(*out, h2, replayed); err != nil {
+			return err
+		}
+	}
+	return printReport(h2.Classes, replayed)
+}
+
+func report(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "recorded trace to report on (required)")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	h, events, err := readTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	return printReport(h.Classes, events)
+}
+
+// serverClasses learns the target's SLO classes from its live /v1/slo so
+// the trace is judged against what admission enforced; offline (or against
+// an old server) it falls back to the stock classes.
+func serverClasses(ctx context.Context, client *fleetapi.Client) []fleetapi.SLOClass {
+	probeCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	rep, err := client.SLO(probeCtx)
+	if err != nil || len(rep.Classes) == 0 {
+		return fleetapi.DefaultSLOClasses()
+	}
+	classes := make([]fleetapi.SLOClass, 0, len(rep.Classes))
+	for _, row := range rep.Classes {
+		classes = append(classes, fleetapi.SLOClass{Name: row.Class, TargetNanos: row.TargetNanos})
+	}
+	return classes
+}
+
+func writeTrace(path string, h loadgen.Header, events []loadgen.Event) error {
+	if path == "-" {
+		return loadgen.WriteTrace(os.Stdout, h, events)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := loadgen.WriteTrace(f, h, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s (%d events)\n", path, len(events))
+	return nil
+}
+
+func readTrace(path string) (loadgen.Header, []loadgen.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return loadgen.Header{}, nil, err
+	}
+	defer f.Close()
+	return loadgen.ReadTrace(f)
+}
+
+// printReport writes the deterministic report JSON (indented for humans,
+// field order preserved) to stdout.
+func printReport(classes []fleetapi.SLOClass, events []loadgen.Event) error {
+	var out bytes.Buffer
+	if err := json.Indent(&out, loadgen.Report(classes, events).JSON(), "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(out.String())
+	return nil
+}

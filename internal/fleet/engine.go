@@ -98,6 +98,25 @@ func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image
 // the uninstrumented path pays exactly one nil check; the pixel math and the
 // RNG stream are identical — timing reads the clock and nothing else.
 func (e *Engine) captureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
+	img, size, _ := e.CaptureTimed(d, it, angle)
+	return img, size
+}
+
+// StageTimes is one capture's per-stage wall time in nanoseconds, as
+// measured by CaptureTimed. The serving path returns these per request so a
+// client can see where its latency went.
+type StageTimes struct {
+	SensorNanos int64 `json:"sensor"`
+	ISPNanos    int64 `json:"isp"`
+	CodecNanos  int64 `json:"codec"` // encode + decode
+}
+
+// CaptureTimed is Capture with a clock read between stages, returning the
+// per-stage wall times alongside the decoded image. When telemetry is
+// attached the times also land in the stage histograms. The pixel math and
+// the RNG stream are identical to Capture — timing reads the clock and
+// nothing else.
+func (e *Engine) CaptureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int, StageTimes) {
 	displayed := e.Displayed(it, angle)
 	a := arenaPool.Get().(*captureArena)
 	rng := a.seed(mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
@@ -113,9 +132,21 @@ func (e *Engine) captureTimed(d *Device, it *dataset.Item, angle int) (*imaging.
 	codec.Release(enc)
 	arenaPool.Put(a)
 	t3 := time.Now()
-	e.tele.Sensor.Observe(t1.Sub(t0).Nanoseconds())
-	e.tele.ISP.Observe(t2.Sub(t1).Nanoseconds())
-	e.tele.Codec.Observe(t3.Sub(t2).Nanoseconds())
-	e.tele.Captures.Inc()
-	return img, size
+	st := StageTimes{
+		SensorNanos: t1.Sub(t0).Nanoseconds(),
+		ISPNanos:    t2.Sub(t1).Nanoseconds(),
+		CodecNanos:  t3.Sub(t2).Nanoseconds(),
+	}
+	if e.tele != nil {
+		e.tele.Sensor.Observe(st.SensorNanos)
+		e.tele.ISP.Observe(st.ISPNanos)
+		e.tele.Codec.Observe(st.CodecNanos)
+		e.tele.Captures.Inc()
+	}
+	return img, size, st
 }
+
+// SetTelemetry attaches capture instruments to the engine; nil disables
+// recording. Telemetry only reads the clock, so instrumented captures stay
+// byte-identical to uninstrumented ones.
+func (e *Engine) SetTelemetry(t *Telemetry) { e.tele = t }

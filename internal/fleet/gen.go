@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/isp"
 	"repro/internal/sensor"
@@ -66,6 +67,16 @@ func (g *Generator) Device(i int) *Device {
 			Sensor:  sensor.New(params),
 		}
 	})
+}
+
+// Items returns the deterministic evaluation set a run with this (seed, n)
+// photographs — the same dataset.GenerateHard stream NewRunner builds, so a
+// serving request for (seed, items, item i) classifies exactly the object
+// cell (item i) of a batch run with the same seed. Exported for the fleetd
+// serving path, which materializes items per request stream rather than per
+// run.
+func Items(seed int64, n int) []*dataset.Item {
+	return dataset.GenerateHard(n, mix(seed, 3)).Items
 }
 
 // Cohorts returns the base phone names in fleet order.

@@ -183,7 +183,7 @@ func NewRunner(cfg Config, factory BackendFactory) *Runner {
 		engine:     NewEngine(cfg.Seed, cfg.Scale, cfg.SceneCache),
 		pool:       pool,
 		backends:   make([]*LRU[string, nn.Backend], pool.WorkersFor(cfg.rangeSize())),
-		items:      dataset.GenerateHard(cfg.Items, mix(cfg.Seed, 3)).Items,
+		items:      Items(cfg.Seed, cfg.Items),
 		acc:        stability.NewAccumulator(),
 		cohortAccs: map[string]*stability.Accumulator{},
 		slots:      make([]*deviceSlot, cfg.rangeSize()),
@@ -204,7 +204,7 @@ func NewRunner(cfg Config, factory BackendFactory) *Runner {
 // instrumented and uninstrumented runs are byte-identical.
 func (r *Runner) SetTelemetry(t *Telemetry) {
 	r.tele = t
-	r.engine.tele = t
+	r.engine.SetTelemetry(t)
 }
 
 // Start launches the run in the background, returning a channel closed on

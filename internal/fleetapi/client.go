@@ -25,15 +25,40 @@ type Client struct {
 	// BaseURL is the instance root, e.g. "http://host:8470".
 	BaseURL    string
 	HTTPClient *http.Client
+	// PollInterval is the default wait-polling cadence WaitRun and
+	// WaitExperiment fall back to when their poll argument is <= 0
+	// (itself defaulting to 100ms). Set it — usually via WithPollInterval —
+	// when a caller owns many waits and wants one knob, or when tests need
+	// waits that react at test speed instead of sleeping the hardcoded
+	// default.
+	PollInterval time.Duration
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithPollInterval sets the default poll cadence for WaitRun and
+// WaitExperiment (used when their poll argument is <= 0).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.PollInterval = d }
+}
+
+// WithHTTPClient sets the underlying *http.Client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.HTTPClient = h }
 }
 
 // NewClient returns a client for the given base URL; a bare host:port gets
 // an http:// scheme.
-func NewClient(baseURL string) *Client {
+func NewClient(baseURL string, opts ...Option) *Client {
 	if !strings.Contains(baseURL, "://") {
 		baseURL = "http://" + baseURL
 	}
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	c := &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -148,6 +173,24 @@ func (c *Client) RunShard(ctx context.Context, spec ShardSpec) (*fleet.RunState,
 	return fleet.UnmarshalRunState(data)
 }
 
+// Serve runs one capture→classify request through the instance's serving
+// path. A shed surfaces as an *Error with code CodeRateLimited or
+// CodeQueueFull (HTTP 429); the Retry-After header the server sets is the
+// transport's concern — open-loop generators ignore it by design.
+func (c *Client) Serve(ctx context.Context, req ServeRequest) (ServeResponse, error) {
+	var resp ServeResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/serve", req, &resp)
+	return resp, err
+}
+
+// SLO fetches the instance's serving-path SLO report: per-class attainment,
+// shed counts, and latency quantiles accumulated since the process started.
+func (c *Client) SLO(ctx context.Context) (SLOReport, error) {
+	var rep SLOReport
+	err := c.doJSON(ctx, http.MethodGet, "/v1/slo", nil, &rep)
+	return rep, err
+}
+
 // Metrics fetches the instance's Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
@@ -192,7 +235,7 @@ func (c *Client) traceNDJSON(ctx context.Context, path string) ([]obs.Span, erro
 // aborts the wait.
 func (c *Client) WaitRun(ctx context.Context, id int, poll time.Duration) (RunStatus, error) {
 	var st RunStatus
-	err := waitTerminal(ctx, poll, func() (string, error) {
+	err := c.waitTerminal(ctx, poll, func() (string, error) {
 		var err error
 		st, err = c.GetRun(ctx, id)
 		return st.State, err
@@ -203,8 +246,12 @@ func (c *Client) WaitRun(ctx context.Context, id int, poll time.Duration) (RunSt
 // waitTerminal is the shared polling loop behind WaitRun and
 // WaitExperiment: poll get until the resource leaves StateRunning,
 // retrying transient failures, aborting on authoritative 4xx or context
-// end.
-func waitTerminal(ctx context.Context, poll time.Duration, get func() (string, error)) error {
+// end. A poll of <= 0 falls back to the client's PollInterval, then to
+// 100ms.
+func (c *Client) waitTerminal(ctx context.Context, poll time.Duration, get func() (string, error)) error {
+	if poll <= 0 {
+		poll = c.PollInterval
+	}
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
@@ -271,7 +318,7 @@ func (c *Client) DeleteExperiment(ctx context.Context, id int) error {
 // behavior as WaitRun.
 func (c *Client) WaitExperiment(ctx context.Context, id int, poll time.Duration) (ExperimentStatus, error) {
 	var st ExperimentStatus
-	err := waitTerminal(ctx, poll, func() (string, error) {
+	err := c.waitTerminal(ctx, poll, func() (string, error) {
 		var err error
 		st, err = c.GetExperiment(ctx, id)
 		return st.State, err

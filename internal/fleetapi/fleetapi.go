@@ -251,7 +251,9 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("fleetd: %s (%s)", e.Message, e.Code)
 }
 
-// Error codes.
+// Error codes. The two 429 codes are distinct so a load generator's trace
+// can attribute a shed to the token bucket vs a full queue from the envelope
+// alone.
 const (
 	CodeBadRequest       = "bad_request"
 	CodeNotFound         = "not_found"
@@ -260,6 +262,8 @@ const (
 	CodeRunFailed        = "run_failed"
 	CodeInternal         = "internal"
 	CodeUnavailable      = "unavailable"
+	CodeRateLimited      = "rate_limited"
+	CodeQueueFull        = "queue_full"
 )
 
 // envelope is the wire shape of an error response.
@@ -280,6 +284,8 @@ func statusForCode(code string) int {
 		return http.StatusMethodNotAllowed
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeRateLimited, CodeQueueFull:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,185 @@
+package fleetapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// MaxServeItems caps the dataset size a serve request may reference. Serve
+// requests materialize their (seed, items) evaluation set lazily on the
+// instance; the cap bounds that synchronous generation the way MaxItems
+// bounds it for runs, but much tighter — a serving stream regenerates the
+// set on cache miss, inside a request's latency budget.
+const MaxServeItems = 4096
+
+// ServeRequest is the body of POST /v1/serve: one capture→classify through
+// the fleet hot path, addressed by the same deterministic cell coordinates
+// a batch run uses. (seed, device) names the synthesized phone, (seed,
+// items, item) the photographed object, angle the camera position — so a
+// served prediction is reproducible and comparable cell-for-cell with any
+// run of the same seed.
+type ServeRequest struct {
+	Device int   `json:"device"`
+	Item   int   `json:"item"`
+	Angle  int   `json:"angle"`
+	Seed   int64 `json:"seed,omitempty"`
+	// Items is the evaluation-set size Item indexes into (default 8).
+	Items int `json:"items,omitempty"`
+	// Scale divides the capture resolution (default 2), like RunSpec.
+	Scale int `json:"scale,omitempty"`
+	// Runtime forces the inference runtime; empty uses the device's own.
+	Runtime string `json:"runtime,omitempty"`
+	// Class is the SLO class admission judges the request under; empty
+	// selects the instance's first configured class.
+	Class string `json:"class,omitempty"`
+}
+
+// Validate checks field ranges. The class name is resolved server-side
+// against the instance's configured classes, not here.
+func (r ServeRequest) Validate() error {
+	if r.Device < 0 || r.Device >= MaxDevices {
+		return fmt.Errorf("device=%d out of range [0, %d)", r.Device, MaxDevices)
+	}
+	if r.Items < 0 || r.Items > MaxServeItems {
+		return fmt.Errorf("items=%d exceeds the serve cap of %d", r.Items, MaxServeItems)
+	}
+	items := r.Items
+	if items == 0 {
+		items = 8
+	}
+	if r.Item < 0 || r.Item >= items {
+		return fmt.Errorf("item=%d out of range [0, %d)", r.Item, items)
+	}
+	if r.Angle < 0 || r.Angle >= dataset.NumAngles {
+		return fmt.Errorf("bad angle %d (want 0..%d)", r.Angle, dataset.NumAngles-1)
+	}
+	if r.Scale < 0 || r.Scale > MaxScale {
+		return fmt.Errorf("scale=%d exceeds the cap of %d", r.Scale, MaxScale)
+	}
+	if r.Runtime != "" && !nn.ValidRuntime(r.Runtime) {
+		return fmt.Errorf("bad runtime %q (want one of %v)", r.Runtime, nn.Runtimes())
+	}
+	return nil
+}
+
+// ServeResponse is the reply of POST /v1/serve: the prediction plus where
+// the request's latency went.
+type ServeResponse struct {
+	Pred      int     `json:"pred"`
+	TrueClass int     `json:"true_class"`
+	Score     float64 `json:"score"`
+	Runtime   string  `json:"runtime"`
+	Class     string  `json:"class"`
+	Bytes     int     `json:"bytes"` // compressed capture size
+	// QueueNanos is how long the request waited for a serve worker after
+	// admission; StageNanos the capture/inference breakdown; TotalNanos the
+	// whole admitted-to-replied time.
+	QueueNanos int64           `json:"queue_ns"`
+	StageNanos ServeStageNanos `json:"stage_ns"`
+	TotalNanos int64           `json:"total_ns"`
+}
+
+// ServeStageNanos is the per-stage wall-time breakdown of one served
+// request.
+type ServeStageNanos struct {
+	Sensor    int64 `json:"sensor"`
+	ISP       int64 `json:"isp"`
+	Codec     int64 `json:"codec"`
+	Inference int64 `json:"inference"`
+}
+
+// SLOClass defines one admission class of the serving path: its latency
+// target and the rate/queue bounds admission enforces for it. Instances and
+// load generators share this type so a workload's class definitions and the
+// server's can be compared or copied verbatim.
+type SLOClass struct {
+	Name string `json:"name"`
+	// TargetNanos is the class's latency SLO (queue wait + service). Pick a
+	// value on an obs.DurationBuckets bound: attainment is computed from
+	// bucket counts and is exact only there.
+	TargetNanos int64 `json:"target_ns"`
+	// RatePerSec and Burst parameterize the class's token bucket: sustained
+	// admission rate and the burst above it admitted from a full bucket.
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	// QueueDepth bounds how many admitted requests may wait for a serve
+	// worker; a full queue sheds.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Validate checks the class is usable for admission.
+func (c SLOClass) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("SLO class with empty name")
+	}
+	if c.TargetNanos <= 0 {
+		return fmt.Errorf("SLO class %q: target_ns=%d must be positive", c.Name, c.TargetNanos)
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("SLO class %q: rate_per_sec=%g must be positive", c.Name, c.RatePerSec)
+	}
+	if c.Burst < 1 {
+		return fmt.Errorf("SLO class %q: burst=%d must be at least 1", c.Name, c.Burst)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("SLO class %q: queue_depth=%d must be at least 1", c.Name, c.QueueDepth)
+	}
+	return nil
+}
+
+// DefaultSLOClasses returns the two stock serving classes: interactive
+// (tight p99, modest burst) and batch (relaxed p99, deep queue). Targets sit
+// on obs.DurationBuckets bounds so attainment is exact.
+func DefaultSLOClasses() []SLOClass {
+	return []SLOClass{
+		{Name: "interactive", TargetNanos: 250 * time.Millisecond.Nanoseconds(), RatePerSec: 200, Burst: 50, QueueDepth: 64},
+		{Name: "batch", TargetNanos: time.Second.Nanoseconds(), RatePerSec: 50, Burst: 100, QueueDepth: 256},
+	}
+}
+
+// SLOReport is the serving path's outcome summary: per-class attainment,
+// shed counts and latency/queue-wait quantiles. fleetd serves one from its
+// live histograms (GET /v1/slo); loadgen computes one deterministically from
+// a recorded trace — same shape, so the two are directly comparable.
+type SLOReport struct {
+	Classes []SLOClassReport `json:"classes"`
+}
+
+// SLOClassReport is one class's row of an SLOReport.
+type SLOClassReport struct {
+	Class       string `json:"class"`
+	TargetNanos int64  `json:"target_ns"`
+	// Requests = Served + ShedRate + ShedQueue + Errors.
+	Requests  int64 `json:"requests"`
+	Served    int64 `json:"served"`
+	ShedRate  int64 `json:"shed_rate"`  // rate-limited at the token bucket
+	ShedQueue int64 `json:"shed_queue"` // bounced off a full queue
+	Errors    int64 `json:"errors"`
+	// Attainment is the fraction of served requests within the target
+	// (0 when nothing was served).
+	Attainment float64 `json:"attainment"`
+	// Latency and queue-wait quantiles in nanoseconds (bucket-interpolated).
+	LatencyNanos   QuantileSet `json:"latency_ns"`
+	QueueWaitNanos QuantileSet `json:"queue_wait_ns"`
+}
+
+// QuantileSet is the p50/p95/p99 triple of one latency distribution.
+type QuantileSet struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// JSON marshals the report with stable formatting — the deterministic
+// artifact form (identical inputs yield identical bytes).
+func (r SLOReport) JSON() []byte {
+	b, err := json.Marshal(r)
+	if err != nil { // struct of plain values; cannot fail
+		panic(err)
+	}
+	return b
+}

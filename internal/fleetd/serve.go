@@ -1,0 +1,466 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/fleetapi"
+	"repro/internal/imaging"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/train"
+)
+
+// Serving-path metric names.
+const (
+	metricServeRequests  = "fleetd_serve_requests_total"     // class, code
+	metricServeShed      = "fleetd_serve_shed_total"         // class, reason
+	metricServeLatency   = "fleetd_serve_seconds"            // class (queue wait + service)
+	metricServeQueueWait = "fleetd_serve_queue_wait_seconds" // class
+	metricServeDepth     = "fleetd_serve_queue_depth"        // class
+)
+
+// ServeOptions configures the request-serving leg of an instance.
+type ServeOptions struct {
+	// Classes are the admission classes POST /v1/serve judges requests
+	// under, in priority order (workers drain earlier classes first). Nil
+	// selects fleetapi.DefaultSLOClasses.
+	Classes []fleetapi.SLOClass
+	// Workers is the serve worker count — the execution parallelism behind
+	// the queues (default max(2, GOMAXPROCS/2), so serving coexists with
+	// batch runs instead of seizing every core).
+	Workers int
+}
+
+// tokenBucket is a standard refill-on-demand token bucket. One guards each
+// SLO class; it is the serving path's rate admission — beyond it only the
+// bounded queue stands.
+type tokenBucket struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	level float64
+	last  time.Time
+}
+
+// take consumes one token if available, refilling for the elapsed time
+// first. When empty it reports how long until a token accrues — the
+// Retry-After a shed reply carries.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.level += now.Sub(b.last).Seconds() * b.rate
+		if b.level > b.burst {
+			b.level = b.burst
+		}
+	} else {
+		b.level = b.burst
+	}
+	b.last = now
+	if b.level >= 1 {
+		b.level--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.level) / b.rate * float64(time.Second))
+}
+
+// serveJob is one admitted request waiting for (or being executed by) a
+// serve worker.
+type serveJob struct {
+	req   fleetapi.ServeRequest
+	class *serveClass
+	enq   time.Time
+	ctx   context.Context
+	done  chan serveResult
+}
+
+type serveResult struct {
+	resp fleetapi.ServeResponse
+	err  *fleetapi.Error
+}
+
+// serveClass is one SLO class's admission state and instruments.
+type serveClass struct {
+	spec      fleetapi.SLOClass
+	bucket    tokenBucket
+	queue     chan *serveJob
+	depth     *obs.Gauge
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
+}
+
+// serveState is the Server's request-serving leg: the classes, the shared
+// wake channel workers block on, and the LRU of (seed, items, scale)
+// serving bundles.
+type serveState struct {
+	classes []*serveClass
+	byName  map[string]*serveClass
+	bundles *fleet.LRU[bundleKey, *serveBundle]
+	// wake carries one token per enqueued job; workers drain it and then
+	// scan class queues in priority order, so "which queue" is decided at
+	// dequeue time, not enqueue time.
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	workers  int
+}
+
+// bundleKey addresses one serving universe: the deterministic fleet and
+// evaluation set serve requests with these parameters hit.
+type bundleKey struct {
+	seed         int64
+	items, scale int
+}
+
+// serveBundle is the materialized universe: generator, engine (sharing the
+// instance's capture telemetry) and items. Safe for concurrent use — the
+// generator and engine caches are internally locked, and captures are
+// cell-seeded.
+type serveBundle struct {
+	gen    *fleet.Generator
+	engine *fleet.Engine
+	items  []*dataset.Item
+}
+
+// initServe builds the serving leg and launches its workers. Called from
+// New; the classes come validated from Options.
+func (s *Server) initServe(o ServeOptions) {
+	classes := o.Classes
+	if classes == nil {
+		classes = fleetapi.DefaultSLOClasses()
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			panic(fmt.Sprintf("fleetd: bad serve class: %v", err))
+		}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	st := &serveState{
+		byName:  map[string]*serveClass{},
+		bundles: fleet.NewLRU[bundleKey, *serveBundle](4),
+		stop:    make(chan struct{}),
+		workers: workers,
+	}
+	s.reg.Describe(metricServeRequests, "Serve requests by class and status code.")
+	s.reg.Describe(metricServeShed, "Serve requests shed by admission control, by class and reason.")
+	s.reg.Describe(metricServeLatency, "Serve request latency (queue wait + service) by SLO class.")
+	s.reg.Describe(metricServeQueueWait, "Time an admitted serve request waited for a worker, by SLO class.")
+	s.reg.Describe(metricServeDepth, "Admitted serve requests currently queued, by SLO class.")
+	depthCap := 0
+	for _, spec := range classes {
+		c := &serveClass{
+			spec:      spec,
+			bucket:    tokenBucket{rate: spec.RatePerSec, burst: float64(spec.Burst)},
+			queue:     make(chan *serveJob, spec.QueueDepth),
+			depth:     s.reg.Gauge(metricServeDepth, "class", spec.Name),
+			latency:   s.reg.DurationHistogram(metricServeLatency, "class", spec.Name),
+			queueWait: s.reg.DurationHistogram(metricServeQueueWait, "class", spec.Name),
+		}
+		st.classes = append(st.classes, c)
+		st.byName[spec.Name] = c
+		depthCap += spec.QueueDepth
+	}
+	st.wake = make(chan struct{}, depthCap)
+	s.serve = st
+	for i := 0; i < workers; i++ {
+		go s.serveWorker()
+	}
+}
+
+// stopServe terminates the serve workers; queued jobs are failed with 503.
+// CancelRuns calls it as part of shutdown.
+func (s *Server) stopServe() {
+	s.serve.stopOnce.Do(func() { close(s.serve.stop) })
+}
+
+// serveBundle resolves (or builds) the serving universe for a request. A
+// cache miss pays device-set-independent dataset generation synchronously —
+// bounded by fleetapi.MaxServeItems.
+func (s *Server) serveBundleFor(req fleetapi.ServeRequest) *serveBundle {
+	key := bundleKey{seed: req.Seed, items: itemsOrDefault(req.Items), scale: req.Scale}
+	return s.serve.bundles.GetOrCompute(key, func() *serveBundle {
+		gen := fleet.NewGenerator(key.seed, key.scale, 0)
+		engine := fleet.NewEngine(key.seed, key.scale, 0)
+		engine.SetTelemetry(s.tele)
+		return &serveBundle{gen: gen, engine: engine, items: fleet.Items(key.seed, key.items)}
+	})
+}
+
+func itemsOrDefault(n int) int {
+	if n <= 0 {
+		return 8
+	}
+	return n
+}
+
+// handleServe serves POST /v1/serve: admission (token bucket, then bounded
+// queue), hand-off to a serve worker, and the reply. Sheds answer 429 with
+// a Retry-After header and a typed envelope distinguishing rate-limit sheds
+// from queue-full sheds.
+func (s *Server) handleServe(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		s.countServe("", http.StatusMethodNotAllowed)
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use POST"))
+		return
+	}
+	var sr fleetapi.ServeRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		s.countServe("", http.StatusBadRequest)
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "bad serve request: %v", err))
+		return
+	}
+	if err := sr.Validate(); err != nil {
+		s.countServe("", http.StatusBadRequest)
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeBadRequest, "%v", err))
+		return
+	}
+	class, apiErr := s.resolveClass(sr.Class)
+	if apiErr != nil {
+		s.countServe(sr.Class, apiErr.Status)
+		fleetapi.WriteError(w, apiErr)
+		return
+	}
+	sr.Class = class.spec.Name
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.countServe(class.spec.Name, http.StatusServiceUnavailable)
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down"))
+		return
+	}
+
+	// Admission leg 1: the class token bucket. A shed names how long until
+	// a token accrues; open-loop clients ignore it, closed-loop ones back
+	// off exactly that much.
+	if ok, retry := class.bucket.take(time.Now()); !ok {
+		s.shedServe(w, class, "rate", retry,
+			fleetapi.Errorf(fleetapi.CodeRateLimited, "class %q over %.4g req/s", class.spec.Name, class.spec.RatePerSec))
+		return
+	}
+	// Admission leg 2: the bounded queue. Full queue = the class is past
+	// its latency budget already; queuing deeper only converts overload
+	// into worse tail latency.
+	job := &serveJob{req: sr, class: class, enq: time.Now(), ctx: req.Context(), done: make(chan serveResult, 1)}
+	select {
+	case class.queue <- job:
+		class.depth.Add(1)
+		s.serve.wake <- struct{}{}
+	default:
+		s.shedServe(w, class, "queue", time.Second,
+			fleetapi.Errorf(fleetapi.CodeQueueFull, "class %q queue full (%d deep)", class.spec.Name, class.spec.QueueDepth))
+		return
+	}
+
+	select {
+	case res := <-job.done:
+		if res.err != nil {
+			s.countServe(class.spec.Name, res.err.Status)
+			fleetapi.WriteError(w, res.err)
+			return
+		}
+		s.countServe(class.spec.Name, http.StatusOK)
+		fleetapi.WriteJSON(w, http.StatusOK, res.resp)
+	case <-req.Context().Done():
+		// Client went away; the worker will notice job.ctx and skip or
+		// finish into the buffered done channel. Nothing to write.
+	case <-s.serve.stop:
+		// Shutdown landed between this job's enqueue and a worker's drain
+		// pass; don't hang the handler on a queue nobody is reading.
+		s.countServe(class.spec.Name, http.StatusServiceUnavailable)
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down"))
+	}
+}
+
+// resolveClass maps a request's class name (empty = the first configured
+// class) to its admission state.
+func (s *Server) resolveClass(name string) (*serveClass, *fleetapi.Error) {
+	if name == "" {
+		return s.serve.classes[0], nil
+	}
+	if c := s.serve.byName[name]; c != nil {
+		return c, nil
+	}
+	known := make([]string, 0, len(s.serve.classes))
+	for _, c := range s.serve.classes {
+		known = append(known, c.spec.Name)
+	}
+	return nil, fleetapi.Errorf(fleetapi.CodeBadRequest, "unknown SLO class %q (configured: %v)", name, known)
+}
+
+// shedServe records and writes one shed reply: 429, Retry-After, typed
+// envelope.
+func (s *Server) shedServe(w http.ResponseWriter, class *serveClass, reason string, retry time.Duration, apiErr *fleetapi.Error) {
+	s.reg.Counter(metricServeShed, "class", class.spec.Name, "reason", reason).Inc()
+	s.countServe(class.spec.Name, apiErr.Status)
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	fleetapi.WriteError(w, apiErr)
+}
+
+// countServe increments the per-class, per-code request counter. An empty
+// class labels requests rejected before class resolution.
+func (s *Server) countServe(class string, code int) {
+	if class == "" {
+		class = "unresolved"
+	}
+	s.reg.Counter(metricServeRequests, "class", class, "code", strconv.Itoa(code)).Inc()
+}
+
+// serveWorker executes admitted requests. Each worker owns a backend LRU (a
+// backend caches forward scratch and cannot be shared), and picks work in
+// class priority order: one wake token is consumed per job, then the
+// earliest-configured class with a queued job wins.
+func (s *Server) serveWorker() {
+	backends := fleet.NewLRU[string, nn.Backend](8)
+	for {
+		select {
+		case <-s.serve.stop:
+			s.drainServe()
+			return
+		case <-s.serve.wake:
+		}
+		for _, class := range s.serve.classes {
+			select {
+			case job := <-class.queue:
+				class.depth.Add(-1)
+				s.executeServe(job, backends)
+			default:
+				continue
+			}
+			break
+		}
+	}
+}
+
+// drainServe fails every queued job with 503 once the workers are stopping;
+// their handlers are (or soon will be) unblocked by the replies.
+func (s *Server) drainServe() {
+	for _, class := range s.serve.classes {
+	drain:
+		for {
+			select {
+			case job := <-class.queue:
+				class.depth.Add(-1)
+				job.done <- serveResult{err: fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down")}
+			default:
+				break drain
+			}
+		}
+	}
+}
+
+// executeServe runs one capture→classify. The capture is the exact cell the
+// batch hot path would compute — same arena'd engine, same cell-seeded RNG —
+// so a served prediction is bit-reproducible given (seed, device, item,
+// angle, runtime).
+func (s *Server) executeServe(job *serveJob, backends *fleet.LRU[string, nn.Backend]) {
+	queueWait := time.Since(job.enq)
+	job.class.queueWait.Observe(queueWait.Nanoseconds())
+	if job.ctx.Err() != nil {
+		// Client hung up while the job queued; don't burn a capture on it.
+		job.done <- serveResult{err: fleetapi.Errorf(fleetapi.CodeUnavailable, "client went away")}
+		return
+	}
+	req := job.req
+	bundle := s.serveBundleFor(req)
+	d := bundle.gen.Device(req.Device)
+	it := bundle.items[req.Item]
+	img, size, stages := bundle.engine.CaptureTimed(d, it, req.Angle)
+	rt := req.Runtime
+	if rt == "" {
+		rt = d.Profile.RuntimeName()
+	}
+	backend := backends.GetOrCompute(rt, func() nn.Backend { return s.factory(rt) })
+	t0 := time.Now()
+	preds, scores, _ := train.Evaluate(backend, []*imaging.Image{img}, 1)
+	inferNanos := time.Since(t0).Nanoseconds()
+	imaging.PutImage(img)
+	if s.tele != nil {
+		s.tele.Inference.Observe(inferNanos)
+	}
+	total := time.Since(job.enq)
+	job.class.latency.Observe(total.Nanoseconds())
+	job.done <- serveResult{resp: fleetapi.ServeResponse{
+		Pred:       preds[0],
+		TrueClass:  int(it.Class),
+		Score:      scores[0],
+		Runtime:    rt,
+		Class:      job.class.spec.Name,
+		Bytes:      size,
+		QueueNanos: queueWait.Nanoseconds(),
+		StageNanos: fleetapi.ServeStageNanos{
+			Sensor:    stages.SensorNanos,
+			ISP:       stages.ISPNanos,
+			Codec:     stages.CodecNanos,
+			Inference: inferNanos,
+		},
+		TotalNanos: total.Nanoseconds(),
+	}}
+}
+
+// handleSLO serves GET /v1/slo: the serving path's live SLO report, built
+// from the per-class histograms and shed counters accumulated since the
+// process started. Attainment is exact when the class target sits on a
+// bucket bound (the default classes do).
+func (s *Server) handleSLO(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		fleetapi.WriteError(w, fleetapi.Errorf(fleetapi.CodeMethodNotAllowed, "use GET"))
+		return
+	}
+	rep := fleetapi.SLOReport{Classes: make([]fleetapi.SLOClassReport, 0, len(s.serve.classes))}
+	for _, c := range s.serve.classes {
+		lat := c.latency.Snapshot()
+		qw := c.queueWait.Snapshot()
+		served := lat.Total()
+		shedRate := s.reg.Counter(metricServeShed, "class", c.spec.Name, "reason", "rate").Value()
+		shedQueue := s.reg.Counter(metricServeShed, "class", c.spec.Name, "reason", "queue").Value()
+		row := fleetapi.SLOClassReport{
+			Class:       c.spec.Name,
+			TargetNanos: c.spec.TargetNanos,
+			Requests:    served + shedRate + shedQueue,
+			Served:      served,
+			ShedRate:    shedRate,
+			ShedQueue:   shedQueue,
+			LatencyNanos: fleetapi.QuantileSet{
+				P50: lat.Quantile(0.50) * 1e9,
+				P95: lat.Quantile(0.95) * 1e9,
+				P99: lat.Quantile(0.99) * 1e9,
+			},
+			QueueWaitNanos: fleetapi.QuantileSet{
+				P50: qw.Quantile(0.50) * 1e9,
+				P95: qw.Quantile(0.95) * 1e9,
+				P99: qw.Quantile(0.99) * 1e9,
+			},
+		}
+		if served > 0 {
+			row.Attainment = float64(lat.CountLE(c.spec.TargetNanos)) / float64(served)
+		}
+		rep.Classes = append(rep.Classes, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(rep.JSON())
+	fmt.Fprintln(w)
+}

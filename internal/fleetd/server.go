@@ -49,6 +49,10 @@ type Options struct {
 	// Tracer records run/shard lifecycle spans; nil builds a private
 	// default-capacity ring.
 	Tracer *obs.Tracer
+	// Serve configures the request-serving leg (POST /v1/serve): SLO
+	// classes and worker count. The zero value selects the stock classes
+	// and a worker count sized to leave room for batch runs.
+	Serve ServeOptions
 }
 
 // Server owns the run registry and the HTTP surface. At most one run
@@ -89,6 +93,10 @@ type Server struct {
 	shardCount   int // reserved shard slots (covers the pre-runner build window)
 	shardSlots   int
 	closing      bool // set by CancelRuns; new work is refused
+
+	// serve is the request-serving leg: SLO-classed admission, bounded
+	// queues and the worker pool behind POST /v1/serve. Built by New.
+	serve *serveState
 }
 
 // New returns a Server; call Handler to mount it.
@@ -136,6 +144,7 @@ func New(o Options) *Server {
 	for _, p := range o.Peers {
 		s.peers = append(s.peers, fleetapi.NewClient(p))
 	}
+	s.initServe(o.Serve)
 	return s
 }
 
@@ -159,6 +168,8 @@ func (s *Server) Handler() http.Handler {
 	handle("/v1/runs/{id}/stream", s.handleRunStream)
 	handle("/v1/runs/{id}/trace", s.handleRunTrace)
 	handle("/v1/traces/{trace}", s.handleTraceResource)
+	handle("/v1/serve", s.handleServe)
+	handle("/v1/slo", s.handleSLO)
 	handle("/v1/shards", s.handleShard)
 	handle("/v1/experiments", s.handleExperimentsCollection)
 	handle("/v1/experiments/{id}", s.handleExperimentResource)
@@ -207,6 +218,7 @@ func (s *Server) CancelRuns() {
 	for _, r := range shards {
 		r.Cancel()
 	}
+	s.stopServe()
 }
 
 // ProbePeers checks every peer's /healthz, returning the first failure

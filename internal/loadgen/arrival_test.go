@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenSpec is the single-cohort workload the golden sequences pin down.
+func goldenSpec(dist string, shape float64) WorkloadSpec {
+	return WorkloadSpec{Seed: 7, Cohorts: []Cohort{{
+		Name: "g", Class: "interactive", Dist: dist, Shape: shape,
+		RatePerSec: 100, Requests: 8,
+	}}}
+}
+
+// TestScheduleGolden pins the exact arrival offsets per distribution and
+// seed. These sequences are the workload generator's determinism contract:
+// a spec must expand to the same nanosecond schedule on every machine and
+// every version — any diff here is a breaking change to trace replay.
+func TestScheduleGolden(t *testing.T) {
+	cases := []struct {
+		dist    string
+		shape   float64
+		offsets []int64
+	}{
+		{DistPoisson, 0, []int64{4865552, 14113969, 16399833, 49773069, 51185169, 52143756, 56273251, 57561699}},
+		{DistGamma, 4, []int64{12058155, 25761587, 35688824, 52533998, 62531304, 67837872, 79920998, 91603034}},
+		{DistGamma, 0.5, []int64{9004867, 31024609, 46670822, 49677854, 59145898, 60392854, 71449655, 71554783}},
+		{DistWeibull, 0.7, []int64{2822752, 9888395, 10847761, 55039259, 55521372, 55798585, 58031685, 58454639}},
+	}
+	// The sampled cells come from a stream independent of the arrival
+	// process, so every distribution visits the same cells in the same
+	// order — changing traffic shape never changes what is requested.
+	wantCells := [][3]int{{0, 5, 0}, {6, 2, 0}, {0, 1, 3}, {8, 4, 2}, {12, 6, 4}, {2, 2, 2}, {1, 5, 1}, {1, 3, 0}}
+	for _, tc := range cases {
+		arrivals, err := Schedule(goldenSpec(tc.dist, tc.shape))
+		if err != nil {
+			t.Fatalf("%s/%g: %v", tc.dist, tc.shape, err)
+		}
+		if len(arrivals) != len(tc.offsets) {
+			t.Fatalf("%s/%g: %d arrivals, want %d", tc.dist, tc.shape, len(arrivals), len(tc.offsets))
+		}
+		for i, a := range arrivals {
+			if a.OffsetNanos != tc.offsets[i] {
+				t.Errorf("%s/%g arrival %d: offset %d, want %d", tc.dist, tc.shape, i, a.OffsetNanos, tc.offsets[i])
+			}
+			if got := [3]int{a.Device, a.Item, a.Angle}; got != wantCells[i] {
+				t.Errorf("%s/%g arrival %d: cell %v, want %v", tc.dist, tc.shape, i, got, wantCells[i])
+			}
+		}
+	}
+}
+
+// TestScheduleRepeatable: two expansions of one spec are identical, and a
+// different seed diverges immediately.
+func TestScheduleRepeatable(t *testing.T) {
+	spec := goldenSpec(DistPoisson, 0)
+	a, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec expanded to different schedules")
+	}
+	spec.Seed = 8
+	c, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].OffsetNanos == a[0].OffsetNanos {
+		t.Fatal("seed change did not move the first arrival")
+	}
+}
+
+// TestScheduleMeanRate: every distribution's empirical mean gap tracks
+// 1/rate — Dist and Shape shape the traffic, never its volume.
+func TestScheduleMeanRate(t *testing.T) {
+	const rate, n = 200.0, 4000
+	for _, tc := range []struct {
+		dist  string
+		shape float64
+	}{{DistPoisson, 0}, {DistGamma, 4}, {DistGamma, 0.5}, {DistWeibull, 0.7}, {DistWeibull, 2}} {
+		spec := WorkloadSpec{Seed: 11, Cohorts: []Cohort{{
+			Name: "m", Class: "batch", Dist: tc.dist, Shape: tc.shape,
+			RatePerSec: rate, Requests: n,
+		}}}
+		arrivals, err := Schedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := arrivals[len(arrivals)-1].OffsetNanos
+		meanGap := float64(last) / float64(n) / 1e9
+		if want := 1 / rate; math.Abs(meanGap-want)/want > 0.10 {
+			t.Errorf("%s/%g: mean gap %.6fs, want within 10%% of %.6fs", tc.dist, tc.shape, meanGap, want)
+		}
+	}
+}
+
+// TestScheduleDurationBudget: a duration-bounded cohort stops at its limit
+// and a dual budget honors whichever runs out first.
+func TestScheduleDurationBudget(t *testing.T) {
+	spec := WorkloadSpec{Seed: 3, Cohorts: []Cohort{{
+		Name: "d", Class: "batch", RatePerSec: 1000, DurationSec: 0.05,
+	}}}
+	arrivals, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("duration budget produced no arrivals")
+	}
+	limit := (50 * time.Millisecond).Nanoseconds()
+	for _, a := range arrivals {
+		if a.OffsetNanos > limit {
+			t.Fatalf("arrival at %dns past the %dns duration budget", a.OffsetNanos, limit)
+		}
+	}
+
+	spec.Cohorts[0].Requests = 3
+	capped, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 3 {
+		t.Fatalf("dual budget produced %d arrivals, want the request cap of 3", len(capped))
+	}
+}
+
+// TestScheduleMergesSortedAcrossCohorts: a multi-cohort schedule is globally
+// time-ordered with per-cohort sequences intact.
+func TestScheduleMergesSortedAcrossCohorts(t *testing.T) {
+	spec := WorkloadSpec{Seed: 5, Cohorts: []Cohort{
+		{Name: "a", Class: "interactive", RatePerSec: 500, Requests: 50},
+		{Name: "b", Class: "batch", Dist: DistGamma, Shape: 2, RatePerSec: 300, Requests: 50},
+	}}
+	arrivals, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 100 {
+		t.Fatalf("%d arrivals, want 100", len(arrivals))
+	}
+	nextSeq := map[string]int{}
+	for i, a := range arrivals {
+		if i > 0 && a.OffsetNanos < arrivals[i-1].OffsetNanos {
+			t.Fatalf("arrival %d out of time order", i)
+		}
+		if a.Seq != nextSeq[a.Cohort] {
+			t.Fatalf("cohort %s seq %d, want %d", a.Cohort, a.Seq, nextSeq[a.Cohort])
+		}
+		nextSeq[a.Cohort]++
+	}
+}
+
+// TestWorkloadSpecValidate rejects the malformed corners.
+func TestWorkloadSpecValidate(t *testing.T) {
+	base := func() WorkloadSpec {
+		return WorkloadSpec{Cohorts: []Cohort{{Name: "c", Class: "batch", RatePerSec: 10, Requests: 1}}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*WorkloadSpec){
+		"no cohorts":     func(s *WorkloadSpec) { s.Cohorts = nil },
+		"unnamed cohort": func(s *WorkloadSpec) { s.Cohorts[0].Name = "" },
+		"duplicate name": func(s *WorkloadSpec) { s.Cohorts = append(s.Cohorts, s.Cohorts[0]) },
+		"zero rate":      func(s *WorkloadSpec) { s.Cohorts[0].RatePerSec = 0 },
+		"no budget":      func(s *WorkloadSpec) { s.Cohorts[0].Requests = 0 },
+		"bad dist":       func(s *WorkloadSpec) { s.Cohorts[0].Dist = "uniform" },
+		"bad runtime":    func(s *WorkloadSpec) { s.Cohorts[0].Runtime = "tpu" },
+	} {
+		s := base()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}

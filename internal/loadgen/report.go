@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fleetapi"
+)
+
+// Report computes the SLO report of a trace — a pure function of (classes,
+// events): attainment and shed accounting are exact counts over the events,
+// quantiles are exact order statistics (no bucketing), and classes appear in
+// the given order. Identical inputs yield identical reports, which is what
+// makes a recorded trace's report byte-stable under replay.
+//
+// It mirrors the shape fleetd serves from its live histograms at /v1/slo;
+// the live report's quantiles are bucket-interpolated where these are exact,
+// so compare attainment and counts across the two, not quantile digits.
+func Report(classes []fleetapi.SLOClass, events []Event) fleetapi.SLOReport {
+	rep := fleetapi.SLOReport{Classes: make([]fleetapi.SLOClassReport, 0, len(classes))}
+	for _, class := range classes {
+		row := fleetapi.SLOClassReport{Class: class.Name, TargetNanos: class.TargetNanos}
+		var latencies, waits []int64
+		var within int64
+		for _, e := range events {
+			if e.Class != class.Name {
+				continue
+			}
+			row.Requests++
+			switch {
+			case e.Served():
+				row.Served++
+				latencies = append(latencies, e.LatencyNanos)
+				waits = append(waits, e.QueueNanos)
+				if e.LatencyNanos <= class.TargetNanos {
+					within++
+				}
+			case e.Code == fleetapi.CodeRateLimited:
+				row.ShedRate++
+			case e.Code == fleetapi.CodeQueueFull:
+				row.ShedQueue++
+			default:
+				row.Errors++
+			}
+		}
+		if row.Served > 0 {
+			row.Attainment = float64(within) / float64(row.Served)
+		}
+		row.LatencyNanos = quantiles(latencies)
+		row.QueueWaitNanos = quantiles(waits)
+		rep.Classes = append(rep.Classes, row)
+	}
+	return rep
+}
+
+// quantiles returns the exact nearest-rank p50/p95/p99 of the values.
+func quantiles(vals []int64) fleetapi.QuantileSet {
+	if len(vals) == 0 {
+		return fleetapi.QuantileSet{}
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(sorted[idx])
+	}
+	return fleetapi.QuantileSet{P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+}

@@ -142,25 +142,39 @@ func (s HistogramSnapshot) Total() int64 {
 	return n
 }
 
-// Quantile returns an estimate of the q-quantile (0..1) by linear
-// interpolation inside the containing bucket, in the exposition unit
-// (i.e. scaled). The overflow bucket reports its lower bound.
+// Quantile returns an estimate of the q-quantile by linear interpolation
+// inside the containing bucket, in the exposition unit (i.e. scaled). The
+// edge cases are pinned down because SLO reports are computed from these
+// values and must be deterministic and sensible:
+//
+//   - An empty histogram returns 0 for every q.
+//   - q is clamped into [0, 1]; q=0 returns the lower edge of the first
+//     non-empty bucket, q=1 the upper bound of the last non-empty one.
+//   - Empty buckets are skipped, so a quantile never lands on a bucket
+//     nothing was observed in.
+//   - The overflow bucket has no upper bound to interpolate toward and
+//     reports its lower bound (the last configured bound).
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	total := s.Total()
 	if total == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	rank := q * float64(total)
+	scale := s.scaleOr1()
 	var cum int64
 	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
 		prev := cum
 		cum += c
 		if float64(cum) < rank {
 			continue
-		}
-		scale := s.Scale
-		if scale == 0 {
-			scale = 1
 		}
 		if i >= len(s.Bounds) { // overflow bucket: no upper bound to lerp to
 			return float64(s.Bounds[len(s.Bounds)-1]) * scale
@@ -170,13 +184,32 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 			lo = s.Bounds[i-1]
 		}
 		hi := s.Bounds[i]
-		if c == 0 {
-			return float64(hi) * scale
-		}
 		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
 		return (float64(lo) + frac*float64(hi-lo)) * scale
 	}
-	return float64(s.Bounds[len(s.Bounds)-1]) * s.scaleOr1()
+	return float64(s.Bounds[len(s.Bounds)-1]) * scale
+}
+
+// CountLE returns the number of observations in buckets whose upper bound
+// is ≤ v — exact when v is one of the configured bounds (the histogram
+// records nothing finer than its buckets). For a v between bounds the count
+// is a lower bound on the true number of observations ≤ v. SLO attainment
+// uses this with class targets chosen on bucket bounds, so the fraction it
+// yields is exact.
+func (s HistogramSnapshot) CountLE(v int64) int64 {
+	var n int64
+	for i, b := range s.Bounds {
+		if b > v {
+			break
+		}
+		n += s.Counts[i]
+	}
+	return n
 }
 
 func (s HistogramSnapshot) scaleOr1() float64 {

@@ -127,3 +127,105 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatal("empty histogram quantile not 0")
 	}
 }
+
+// TestHistogramQuantileEdges pins the defined behavior of the edge cases the
+// SLO report paths depend on: empty histograms, a single populated bucket,
+// out-of-range q, and q=0/q=1 landing on the edges of non-empty buckets
+// rather than inside buckets nothing was observed in.
+func TestHistogramQuantileEdges(t *testing.T) {
+	bounds := []int64{100, 200, 300, 400}
+
+	// Empty: 0 for every q, including the clamped extremes.
+	empty := NewHistogram(bounds, 1).Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Single populated bucket (200, 300]: every quantile interpolates inside
+	// it — q=0 gives its lower edge, q=1 its upper bound.
+	single := NewHistogram(bounds, 1)
+	for i := 0; i < 10; i++ {
+		single.Observe(250)
+	}
+	ss := single.Snapshot()
+	if got := ss.Quantile(0); got != 200 {
+		t.Fatalf("single-bucket Quantile(0) = %g, want 200", got)
+	}
+	if got := ss.Quantile(1); got != 300 {
+		t.Fatalf("single-bucket Quantile(1) = %g, want 300", got)
+	}
+	if got := ss.Quantile(0.5); got <= 200 || got > 300 {
+		t.Fatalf("single-bucket Quantile(0.5) = %g, want in (200, 300]", got)
+	}
+
+	// q outside [0,1] clamps to the edges.
+	if got := ss.Quantile(-3); got != ss.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %g, want clamp to Quantile(0) = %g", got, ss.Quantile(0))
+	}
+	if got := ss.Quantile(7); got != ss.Quantile(1) {
+		t.Fatalf("Quantile(7) = %g, want clamp to Quantile(1) = %g", got, ss.Quantile(7))
+	}
+
+	// Sparse buckets: observations in (0,100] and (300,400] only. q=0 must
+	// report the first bucket's lower edge (0), q=1 the last non-empty
+	// bucket's bound (400), and mid quantiles must never land in the empty
+	// middle buckets.
+	sparse := NewHistogram(bounds, 1)
+	sparse.Observe(50)
+	sparse.Observe(350)
+	sp := sparse.Snapshot()
+	if got := sp.Quantile(0); got != 0 {
+		t.Fatalf("sparse Quantile(0) = %g, want 0", got)
+	}
+	if got := sp.Quantile(1); got != 400 {
+		t.Fatalf("sparse Quantile(1) = %g, want 400", got)
+	}
+	if got := sp.Quantile(0.5); got != 100 {
+		// rank 1 falls exactly on the first bucket's cumulative count: its
+		// upper bound.
+		t.Fatalf("sparse Quantile(0.5) = %g, want 100", got)
+	}
+	if got := sp.Quantile(0.75); got <= 300 || got > 400 {
+		t.Fatalf("sparse Quantile(0.75) = %g, want in (300, 400]", got)
+	}
+
+	// Overflow bucket: reports the last configured bound for any quantile
+	// landing in it, including q=1.
+	over := NewHistogram(bounds, 1)
+	over.Observe(10_000)
+	if got := over.Snapshot().Quantile(1); got != 400 {
+		t.Fatalf("overflow Quantile(1) = %g, want 400", got)
+	}
+
+	// Scale applies to every edge path.
+	scaled := NewHistogram(bounds, 0.5)
+	scaled.Observe(250)
+	if got := scaled.Snapshot().Quantile(1); got != 150 {
+		t.Fatalf("scaled Quantile(1) = %g, want 150", got)
+	}
+}
+
+func TestHistogramCountLE(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 300}, 1)
+	for _, v := range []int64{50, 100, 150, 250, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		v    int64
+		want int64
+	}{
+		{100, 2},     // exact: bucket bound
+		{200, 3},     // exact: bucket bound
+		{300, 4},     // exact: bucket bound
+		{150, 2},     // between bounds: whole buckets below only
+		{99, 0},      // below the first bound
+		{1 << 40, 4}, // overflow observations are never ≤ a bound
+	} {
+		if got := s.CountLE(tc.v); got != tc.want {
+			t.Fatalf("CountLE(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

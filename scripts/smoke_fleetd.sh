@@ -2,8 +2,10 @@
 # Smoke-test the fleetd /v1 API end to end: boot one worker and one
 # coordinator (sharing a model snapshot so the worker trains it once),
 # create a run through the coordinator, wait for it, check the stats and
-# legacy endpoints answer, then drive a 2-arm experiment (runtime sweep)
-# through the coordinator and check its paired report. Used by CI and
+# legacy endpoints answer, drive a 2-arm experiment (runtime sweep) through
+# the coordinator and check its paired report, then fire a seeded loadgen
+# burst at the worker's serving path and check admission sheds with 429 and
+# the per-class serve metrics pass the exposition lint. Used by CI and
 # runnable locally:
 #
 #   ./scripts/smoke_fleetd.sh [bin]
@@ -15,6 +17,8 @@ if [ -z "$BIN" ]; then
   BIN="$(mktemp -d)/fleetd"
   go build -o "$BIN" ./cmd/fleetd
 fi
+LOADGEN_BIN="$(dirname "$BIN")/loadgen"
+go build -o "$LOADGEN_BIN" ./cmd/loadgen
 WORKDIR="$(mktemp -d)"
 MODEL="$WORKDIR/base.model"
 WORKER_PORT=8471
@@ -178,6 +182,71 @@ assert paired["flips"] == paired["regressions"] + paired["improvements"], paired
 rates = rep["agreement"]["rates"]
 assert len(rates) == 2 and len(rates[0]) == 2 and rates[0][1] == rates[1][0], rates
 print("report ok: %d/%d cells flip float32->int8" % (paired["flips"], paired["cells"]))
+'
+
+echo "== loadgen burst (seeded, over-rate: must shed with 429)"
+# One cohort offered at 2000 req/s against the stock interactive class
+# (200 req/s, burst 50): most of the burst must shed at the token bucket.
+cat >"$WORKDIR/burst.json" <<'JSON'
+{
+  "name": "smoke-burst",
+  "seed": 5,
+  "cohorts": [
+    {"name": "burst", "class": "interactive", "rate_per_sec": 2000, "requests": 300, "devices": 8, "items": 4}
+  ]
+}
+JSON
+"$LOADGEN_BIN" record -addr "localhost:$WORKER_PORT" -spec "$WORKDIR/burst.json" \
+  -out "$WORKDIR/burst.trace" >"$WORKDIR/burst.report" 2>"$WORKDIR/loadgen.log"
+python3 - "$WORKDIR/burst.report" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+rows = {r["class"]: r for r in rep["classes"]}
+row = rows["interactive"]
+assert row["requests"] == 300, row
+assert row["served"] > 0, "nothing served: %s" % row
+shed = row["shed_rate"] + row["shed_queue"]
+assert shed > 0, "over-rate burst shed nothing: %s" % row
+assert row["served"] + shed + row["errors"] == 300, row
+print("loadgen ok: served=%d shed=%d (rate=%d queue=%d)"
+      % (row["served"], shed, row["shed_rate"], row["shed_queue"]))
+PY
+
+echo "== loadgen report determinism (offline recompute, byte-identical)"
+"$LOADGEN_BIN" report -trace "$WORKDIR/burst.trace" >"$WORKDIR/report1.json"
+"$LOADGEN_BIN" report -trace "$WORKDIR/burst.trace" >"$WORKDIR/report2.json"
+cmp "$WORKDIR/report1.json" "$WORKDIR/report2.json"
+echo "report recomputed byte-identical"
+
+echo "== serve metrics (per-class histograms + shed counters, linted)"
+curl -fsS "localhost:$WORKER_PORT/metrics" >"$WORKDIR/serve.metrics"
+"$SCRIPT_DIR/lint_metrics.sh" "$WORKDIR/serve.metrics"
+python3 - "$WORKDIR/serve.metrics" <<'PY'
+import re, sys
+m = open(sys.argv[1]).read()
+shed = re.search(r'^fleetd_serve_shed_total\{class="interactive",reason="rate"\} (\d+)$', m, re.M)
+assert shed and int(shed.group(1)) > 0, "no rate sheds recorded:\n" + m
+assert re.search(r'^fleetd_serve_requests_total\{class="interactive",code="429"\} \d+$', m, re.M), m
+assert re.search(r'^fleetd_serve_requests_total\{class="interactive",code="200"\} \d+$', m, re.M), m
+for name in ("fleetd_serve_seconds", "fleetd_serve_queue_wait_seconds"):
+    assert "# TYPE %s histogram" % name in m, "missing %s family" % name
+    assert re.search(r'^%s_bucket\{class="interactive",le="\+Inf"\} \d+$' % name, m, re.M), \
+        "missing per-class %s histogram" % name
+assert re.search(r'^fleetd_serve_queue_depth\{class="interactive"\} ', m, re.M), "missing queue depth gauge"
+print("serve metrics ok: rate sheds=%s" % shed.group(1))
+PY
+
+echo "== live SLO report"
+curl -fsS "localhost:$WORKER_PORT/v1/slo" | python3 -c '
+import json, sys
+rep = json.load(sys.stdin)
+rows = {r["class"]: r for r in rep["classes"]}
+assert set(rows) == {"interactive", "batch"}, sorted(rows)
+row = rows["interactive"]
+assert row["served"] > 0 and row["shed_rate"] > 0, row
+assert 0 <= row["attainment"] <= 1, row
+print("slo ok: served=%d shed_rate=%d attainment=%.3f"
+      % (row["served"], row["shed_rate"], row["attainment"]))
 '
 
 echo "== graceful shutdown"
