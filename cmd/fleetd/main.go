@@ -25,6 +25,14 @@
 //	GET    /v1/experiments/{id}  one experiment's status (per-arm progress)
 //	DELETE /v1/experiments/{id}  cancel an in-flight experiment / evict a finished one
 //	GET    /v1/experiments/{id}/report  paired cross-arm report (deterministic bytes)
+//	POST   /v1/fleets            create a continuous fleet: windowed run with churn/drift (JSON FleetSpec)
+//	GET    /v1/fleets            list remembered continuous fleets
+//	GET    /v1/fleets/{id}       one fleet's status
+//	DELETE /v1/fleets/{id}       cancel an in-flight fleet / evict a finished one
+//	GET    /v1/fleets/{id}/report   full windowed report (deterministic bytes)
+//	GET    /v1/fleets/{id}/windows  per-window stability stats document
+//	GET    /v1/fleets/{id}/drift    drift-detector report: flip-rate series, flags, attribution
+//	POST   /v1/fleetshards       execute one device-range fleet shard, return its state
 //	POST   /run                  legacy: create from query params (stream=1 to hold)
 //	GET    /stats /runs /runs/{id}  legacy reads
 //	GET    /metrics              Prometheus text exposition

@@ -1,0 +1,116 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/nn"
+)
+
+func TestUpgradeOSFlipsDecodePath(t *testing.T) {
+	for _, base := range LabPhones() {
+		up := UpgradeOS(base)
+		if up.Decode.ChromaUpsample == base.Decode.ChromaUpsample {
+			t.Errorf("%s: UpgradeOS did not flip chroma path", base.Name)
+		}
+		switch base.Decode.ChromaUpsample {
+		case codec.UpsampleBilinear:
+			if up.Decode.ChromaUpsample != codec.UpsampleNearest {
+				t.Errorf("%s: bilinear upgraded to %v, want nearest", base.Name, up.Decode.ChromaUpsample)
+			}
+		default:
+			if up.Decode.ChromaUpsample != codec.UpsampleBilinear {
+				t.Errorf("%s: %v upgraded to %v, want bilinear", base.Name, base.Decode.ChromaUpsample, up.Decode.ChromaUpsample)
+			}
+		}
+		// Involutive: a second upgrade restores the original path.
+		if back := UpgradeOS(up); back.Decode.ChromaUpsample != base.Decode.ChromaUpsample {
+			t.Errorf("%s: double UpgradeOS changed decode path", base.Name)
+		}
+		// Everything but the decode path is untouched.
+		rest, origRest := *up, *base
+		rest.Decode, origRest.Decode = codec.DecodeOptions{}, codec.DecodeOptions{}
+		if !reflect.DeepEqual(rest, origRest) {
+			t.Errorf("%s: UpgradeOS modified fields beyond Decode", base.Name)
+		}
+	}
+}
+
+func TestUpgradeRuntime(t *testing.T) {
+	base := LabPhones()[0]
+	if got := UpgradeRuntime(base, "").Runtime; got != nn.RuntimeInt8 {
+		t.Errorf("empty runtime upgraded to %q, want int8", got)
+	}
+	if got := UpgradeRuntime(base, nn.RuntimePruned).Runtime; got != nn.RuntimePruned {
+		t.Errorf("runtime upgraded to %q, want pruned", got)
+	}
+	up := UpgradeRuntime(base, nn.RuntimeInt8)
+	rest, origRest := *up, *base
+	rest.Runtime, origRest.Runtime = "", ""
+	if !reflect.DeepEqual(rest, origRest) {
+		t.Errorf("UpgradeRuntime modified fields beyond Runtime")
+	}
+}
+
+func TestThrottleDeterministic(t *testing.T) {
+	base := LabPhones()[1]
+	a := Throttle(base, 0.6, 42)
+	b := Throttle(base, 0.6, 42)
+	if !reflect.DeepEqual(a.Sensor.Params, b.Sensor.Params) {
+		t.Fatalf("same (severity, seed) produced different sensors:\n%+v\nvs\n%+v", a.Sensor.Params, b.Sensor.Params)
+	}
+	// A different seed jitters differently (distinct thermally stressed
+	// units of the same model).
+	c := Throttle(base, 0.6, 43)
+	if reflect.DeepEqual(a.Sensor.Params, c.Sensor.Params) {
+		t.Fatalf("different seeds produced identical throttled sensors")
+	}
+}
+
+func TestThrottleDegradesSensor(t *testing.T) {
+	base := LabPhones()[2]
+	th := Throttle(base, 0.8, 7)
+	sp, orig := th.Sensor.Params, base.Sensor.Params
+	if sp.ShotNoise <= orig.ShotNoise {
+		t.Errorf("shot noise %v not raised from %v", sp.ShotNoise, orig.ShotNoise)
+	}
+	if sp.ReadNoise <= orig.ReadNoise {
+		t.Errorf("read noise %v not raised from %v", sp.ReadNoise, orig.ReadNoise)
+	}
+	if sp.Exposure >= orig.Exposure {
+		t.Errorf("exposure %v not reduced from %v", sp.Exposure, orig.Exposure)
+	}
+	// Severity beyond 1 clamps rather than running away.
+	over := Throttle(base, 5, 7)
+	capped := Throttle(base, 1, 7)
+	if !reflect.DeepEqual(over.Sensor.Params, capped.Sensor.Params) {
+		t.Errorf("severity > 1 not clamped to 1")
+	}
+}
+
+func TestThrottleZeroSeverityIsClone(t *testing.T) {
+	base := LabPhones()[3]
+	th := Throttle(base, 0, 99)
+	if th == base {
+		t.Fatalf("Throttle returned the input profile, want a clone")
+	}
+	if !reflect.DeepEqual(*th, *base) {
+		t.Errorf("zero-severity Throttle changed the profile")
+	}
+}
+
+func TestTransitionsDoNotMutateInput(t *testing.T) {
+	base := LabPhones()[4]
+	snapshot := *base
+	snapParams := base.Sensor.Params
+	UpgradeOS(base)
+	UpgradeRuntime(base, nn.RuntimePruned)
+	Throttle(base, 0.9, 1)
+	if !reflect.DeepEqual(*base, snapshot) {
+		t.Errorf("transition mutated the input profile")
+	}
+	if !reflect.DeepEqual(base.Sensor.Params, snapParams) {
+		t.Errorf("transition mutated the input sensor params")
+	}
+}

@@ -77,12 +77,29 @@ func (e *Engine) Displayed(it *dataset.Item, angle int) *imaging.Image {
 // hot path hand it back with imaging.PutImage when done, other callers may
 // simply keep it.
 func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
+	return e.captureSeeded(d, it, angle, mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
+}
+
+// CaptureEpoch is Capture in virtual time: the same cell photographed in a
+// different window (epoch) draws fresh sensor noise from an epoch-qualified
+// seed stream, while epoch-independent state (the displayed frame cache, the
+// device profile) is shared. Stream 5 is disjoint from every other seed
+// namespace, so continuous runs never collide with one-shot runs — and
+// epoch 0 of a continuous run is a distinct observation, not a replay of
+// the one-shot capture.
+func (e *Engine) CaptureEpoch(d *Device, it *dataset.Item, angle, epoch int) (*imaging.Image, int) {
+	return e.captureSeeded(d, it, angle, mix(e.Seed, 5, int64(epoch), int64(d.ID), int64(it.ID), int64(angle)))
+}
+
+// captureSeeded is the shared capture body: cell seed in, decoded image out.
+func (e *Engine) captureSeeded(d *Device, it *dataset.Item, angle int, seed int64) (*imaging.Image, int) {
 	if e.tele != nil {
-		return e.captureTimed(d, it, angle)
+		img, size, _ := e.captureSeededTimed(d, it, angle, seed)
+		return img, size
 	}
 	displayed := e.Displayed(it, angle)
 	a := arenaPool.Get().(*captureArena)
-	rng := a.seed(mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
+	rng := a.seed(seed)
 	raw := d.Sensor.CaptureInto(a.raw, displayed, rng)
 	processed := d.ISP.Process(raw) // pool-owned by this frame; Clamp in place is safe
 	enc := d.Profile.Codec.Encode(processed.Clamp())
@@ -91,14 +108,6 @@ func (e *Engine) Capture(d *Device, it *dataset.Item, angle int) (*imaging.Image
 	img := enc.DecodeInto(d.Profile.Decode, imaging.GetImage(enc.W, enc.H))
 	codec.Release(enc)
 	arenaPool.Put(a)
-	return img, size
-}
-
-// captureTimed is Capture with a clock read between stages. Kept separate so
-// the uninstrumented path pays exactly one nil check; the pixel math and the
-// RNG stream are identical — timing reads the clock and nothing else.
-func (e *Engine) captureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int) {
-	img, size, _ := e.CaptureTimed(d, it, angle)
 	return img, size
 }
 
@@ -117,9 +126,14 @@ type StageTimes struct {
 // the RNG stream are identical to Capture — timing reads the clock and
 // nothing else.
 func (e *Engine) CaptureTimed(d *Device, it *dataset.Item, angle int) (*imaging.Image, int, StageTimes) {
+	return e.captureSeededTimed(d, it, angle, mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
+}
+
+// captureSeededTimed is the shared timed capture body.
+func (e *Engine) captureSeededTimed(d *Device, it *dataset.Item, angle int, seed int64) (*imaging.Image, int, StageTimes) {
 	displayed := e.Displayed(it, angle)
 	a := arenaPool.Get().(*captureArena)
-	rng := a.seed(mix(e.Seed, 2, int64(d.ID), int64(it.ID), int64(angle)))
+	rng := a.seed(seed)
 	t0 := time.Now()
 	raw := d.Sensor.CaptureInto(a.raw, displayed, rng)
 	t1 := time.Now()

@@ -10,6 +10,8 @@ const (
 	MetricStageSeconds  = "fleet_stage_seconds"
 	MetricQueueWait     = "fleet_queue_wait_seconds"
 	MetricCapturesTotal = "fleet_captures_total"
+	MetricActiveDevices = "fleet_active_devices"
+	MetricWindowsTotal  = "fleet_windows_total"
 )
 
 // Telemetry bundles the instruments the capture hot path records into:
@@ -29,6 +31,11 @@ type Telemetry struct {
 	Inference *obs.Histogram // fleet_stage_seconds{stage="inference"} (per device batch-eval)
 	QueueWait *obs.Histogram // fleet_queue_wait_seconds
 	Captures  *obs.Counter   // fleet_captures_total
+	// Active and Windows instrument continuous fleet runs: the live device
+	// count (a device is active while its virtual-time timeline executes)
+	// and the total device-windows observed.
+	Active  *obs.Gauge   // fleet_active_devices
+	Windows *obs.Counter // fleet_windows_total
 }
 
 // NewTelemetry builds (or resolves, if already present) the fleet
@@ -39,6 +46,8 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 	reg.Describe(MetricStageSeconds, "Capture pipeline per-stage latency by stage.")
 	reg.Describe(MetricQueueWait, "Time a device waited for a pool worker after run start.")
 	reg.Describe(MetricCapturesTotal, "Capture cells completed.")
+	reg.Describe(MetricActiveDevices, "Devices currently executing a continuous fleet timeline.")
+	reg.Describe(MetricWindowsTotal, "Device-windows observed by continuous fleet runs.")
 	return &Telemetry{
 		Sensor:    reg.DurationHistogram(MetricStageSeconds, "stage", "sensor"),
 		ISP:       reg.DurationHistogram(MetricStageSeconds, "stage", "isp"),
@@ -46,5 +55,7 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		Inference: reg.DurationHistogram(MetricStageSeconds, "stage", "inference"),
 		QueueWait: reg.DurationHistogram(MetricQueueWait),
 		Captures:  reg.Counter(MetricCapturesTotal),
+		Active:    reg.Gauge(MetricActiveDevices),
+		Windows:   reg.Counter(MetricWindowsTotal),
 	}
 }

@@ -339,6 +339,92 @@ func (c *Client) ExperimentReport(ctx context.Context, id int) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// CreateFleet starts an async continuous fleet resource.
+func (c *Client) CreateFleet(ctx context.Context, spec FleetSpec) (FleetStatus, error) {
+	var st FleetStatus
+	err := c.doJSON(ctx, http.MethodPost, "/v1/fleets", spec, &st)
+	return st, err
+}
+
+// GetFleet fetches one continuous fleet's status.
+func (c *Client) GetFleet(ctx context.Context, id int) (FleetStatus, error) {
+	var st FleetStatus
+	err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("/v1/fleets/%d", id), nil, &st)
+	return st, err
+}
+
+// ListFleets fetches the remembered continuous fleets, oldest first.
+func (c *Client) ListFleets(ctx context.Context) ([]FleetStatus, error) {
+	var out struct {
+		Fleets []FleetStatus `json:"fleets"`
+	}
+	err := c.doJSON(ctx, http.MethodGet, "/v1/fleets", nil, &out)
+	return out.Fleets, err
+}
+
+// DeleteFleet cancels an in-flight continuous fleet or evicts a finished
+// one from history.
+func (c *Client) DeleteFleet(ctx context.Context, id int) error {
+	return c.doJSON(ctx, http.MethodDelete, fmt.Sprintf("/v1/fleets/%d", id), nil, nil)
+}
+
+// WaitFleet polls until the fleet leaves StateRunning (or the context ends)
+// and returns its final status, with the same transient-retry behavior as
+// WaitRun.
+func (c *Client) WaitFleet(ctx context.Context, id int, poll time.Duration) (FleetStatus, error) {
+	var st FleetStatus
+	err := c.waitTerminal(ctx, poll, func() (string, error) {
+		var err error
+		st, err = c.GetFleet(ctx, id)
+		return st.State, err
+	})
+	return st, err
+}
+
+// fleetArtifact fetches one of a finished fleet's report documents as raw
+// JSON — raw because the bytes are the deterministic artifact
+// (byte-identical across worker counts and shard topologies).
+func (c *Client) fleetArtifact(ctx context.Context, id int, leaf string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/fleets/%d/%s", id, leaf), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// FleetReport fetches a finished fleet's full report. Decode into
+// fleet.FleetReport for the structured view.
+func (c *Client) FleetReport(ctx context.Context, id int) ([]byte, error) {
+	return c.fleetArtifact(ctx, id, "report")
+}
+
+// FleetWindows fetches a finished fleet's per-window stats document.
+func (c *Client) FleetWindows(ctx context.Context, id int) ([]byte, error) {
+	return c.fleetArtifact(ctx, id, "windows")
+}
+
+// FleetDrift fetches a finished fleet's drift report.
+func (c *Client) FleetDrift(ctx context.Context, id int) ([]byte, error) {
+	return c.fleetArtifact(ctx, id, "drift")
+}
+
+// RunFleetShard executes one device-range shard of a continuous fleet
+// synchronously on the instance and returns its state for merging — the
+// coordinator's worker call; bound it with the context.
+func (c *Client) RunFleetShard(ctx context.Context, spec FleetShardSpec) (*fleet.ContinuousState, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/fleetshards", spec)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.UnmarshalContinuousState(data)
+}
+
 // StreamStats follows a run's NDJSON stats stream, invoking fn per
 // snapshot line until the stream ends (run completion) or fn returns an
 // error. A failed run terminates its stream with an error-envelope line;

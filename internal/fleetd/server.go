@@ -84,15 +84,22 @@ type Server struct {
 	// busyLocked) but are separate resources.
 	experiments []*experiment
 	nextExpID   int
+	// fleets is the ring of remembered continuous fleets, oldest first, with
+	// its own id space; fleets also share the run admission slot.
+	fleets      []*contFleet
+	nextFleetID int
 	// shardRunners tracks in-flight shard executions so CancelRuns can
 	// reach them at shutdown; its size is capped by shardSlots, the
 	// admission bound that keeps N concurrent coordinators (or a retrying
 	// client) from building N capture-cap-sized runners at once — the
 	// shard-side analogue of the one-run-at-a-time rule.
 	shardRunners map[*fleet.Runner]struct{}
-	shardCount   int // reserved shard slots (covers the pre-runner build window)
-	shardSlots   int
-	closing      bool // set by CancelRuns; new work is refused
+	// fleetShardRunners is the continuous-fleet analogue of shardRunners;
+	// both kinds draw from the same shardCount/shardSlots budget.
+	fleetShardRunners map[*fleet.ContinuousRunner]struct{}
+	shardCount        int // reserved shard slots (covers the pre-runner build window)
+	shardSlots        int
+	closing           bool // set by CancelRuns; new work is refused
 
 	// serve is the request-serving leg: SLO-classed admission, bounded
 	// queues and the worker pool behind POST /v1/serve. Built by New.
@@ -113,16 +120,17 @@ func New(o Options) *Server {
 		o.Tracer = obs.NewTracer(0)
 	}
 	s := &Server{
-		factory:      o.Factory,
-		params:       o.ModelParams,
-		history:      o.History,
-		log:          o.Log,
-		reg:          o.Registry,
-		tracer:       o.Tracer,
-		tele:         fleet.NewTelemetry(o.Registry),
-		started:      time.Now(),
-		shardRunners: map[*fleet.Runner]struct{}{},
-		shardSlots:   4,
+		factory:           o.Factory,
+		params:            o.ModelParams,
+		history:           o.History,
+		log:               o.Log,
+		reg:               o.Registry,
+		tracer:            o.Tracer,
+		tele:              fleet.NewTelemetry(o.Registry),
+		started:           time.Now(),
+		shardRunners:      map[*fleet.Runner]struct{}{},
+		fleetShardRunners: map[*fleet.ContinuousRunner]struct{}{},
+		shardSlots:        4,
 	}
 	s.goVersion = runtime.Version()
 	if bi, ok := debug.ReadBuildInfo(); ok {
@@ -141,6 +149,9 @@ func New(o Options) *Server {
 	s.reg.Describe(metricExpsFinished, "Experiment resources completed by terminal state.")
 	s.reg.Describe(metricShardsStarted, "Shard executions admitted.")
 	s.reg.Describe(metricShardsFinished, "Shard executions completed by terminal state.")
+	s.reg.Describe(metricFleetsStarted, "Continuous fleet resources admitted.")
+	s.reg.Describe(metricFleetsFinished, "Continuous fleet resources completed by terminal state.")
+	s.reg.Describe(metricFleetFlipRate, "Per-window flip rate of the last completed continuous fleet.")
 	for _, p := range o.Peers {
 		s.peers = append(s.peers, fleetapi.NewClient(p))
 	}
@@ -174,6 +185,12 @@ func (s *Server) Handler() http.Handler {
 	handle("/v1/experiments", s.handleExperimentsCollection)
 	handle("/v1/experiments/{id}", s.handleExperimentResource)
 	handle("/v1/experiments/{id}/report", s.handleExperimentReport)
+	handle("/v1/fleets", s.handleFleetsCollection)
+	handle("/v1/fleets/{id}", s.handleFleetResource)
+	handle("/v1/fleets/{id}/report", s.handleFleetReport)
+	handle("/v1/fleets/{id}/windows", s.handleFleetWindows)
+	handle("/v1/fleets/{id}/drift", s.handleFleetDrift)
+	handle("/v1/fleetshards", s.handleFleetShard)
 	handle("/run", s.handleLegacyRun)
 	handle("/stats", s.handleLegacyStats)
 	handle("/runs", s.handleLegacyRuns)
@@ -200,9 +217,14 @@ func (s *Server) CancelRuns() {
 	s.closing = true
 	runs := append([]*run(nil), s.runs...)
 	exps := append([]*experiment(nil), s.experiments...)
+	fleets := append([]*contFleet(nil), s.fleets...)
 	shards := make([]*fleet.Runner, 0, len(s.shardRunners))
 	for r := range s.shardRunners {
 		shards = append(shards, r)
+	}
+	fleetShards := make([]*fleet.ContinuousRunner, 0, len(s.fleetShardRunners))
+	for r := range s.fleetShardRunners {
+		fleetShards = append(fleetShards, r)
 	}
 	s.mu.Unlock()
 	for _, r := range runs {
@@ -215,7 +237,15 @@ func (s *Server) CancelRuns() {
 			e.cancel()
 		}
 	}
+	for _, f := range fleets {
+		if f.inFlight() {
+			f.cancel()
+		}
+	}
 	for _, r := range shards {
+		r.Cancel()
+	}
+	for _, r := range fleetShards {
 		r.Cancel()
 	}
 	s.stopServe()
@@ -265,12 +295,19 @@ func (s *Server) busyLocked() bool {
 	if n := len(s.experiments); n > 0 && s.experiments[n-1].inFlight() {
 		return true
 	}
+	// Fleets get the same progress-based judgment as runs: report rendering
+	// after the last device finishes must not hold the admission slot.
+	if n := len(s.fleets); n > 0 && s.fleets[n-1].inFlight() {
+		if done, total, _ := s.fleets[n-1].progressNow(); done < total {
+			return true
+		}
+	}
 	return false
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	runs, exps := len(s.runs), len(s.experiments)
+	runs, exps, fleets := len(s.runs), len(s.experiments), len(s.fleets)
 	s.mu.Unlock()
 	body := map[string]any{
 		"status":       "ok",
@@ -281,6 +318,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"go_version":   s.goVersion,
 		"runs":         runs,
 		"experiments":  exps,
+		"fleets":       fleets,
 	}
 	if s.vcsRevision != "" {
 		body["vcs_revision"] = s.vcsRevision

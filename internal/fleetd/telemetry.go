@@ -22,6 +22,12 @@ const (
 	metricExpsFinished   = "fleetd_experiments_finished_total"
 	metricShardsStarted  = "fleetd_shards_started_total"
 	metricShardsFinished = "fleetd_shards_finished_total"
+	metricFleetsStarted  = "fleetd_fleets_started_total"
+	metricFleetsFinished = "fleetd_fleets_finished_total"
+	// metricFleetFlipRate exports the last completed continuous fleet's
+	// per-window flip-rate series, labeled by window index (bounded by
+	// fleetapi.MaxWindows).
+	metricFleetFlipRate = "fleetd_fleet_window_flip_rate"
 )
 
 // instrument wraps one route's handler with the HTTP metrics. The route

@@ -1,0 +1,128 @@
+package stability
+
+import (
+	"math"
+	"testing"
+)
+
+func flagged(points []DriftPoint) []int {
+	var out []int
+	for _, p := range points {
+		if p.Flagged {
+			out = append(out, p.Window)
+		}
+	}
+	return out
+}
+
+func TestDetectDriftFlagsStep(t *testing.T) {
+	// Flat series with a step at window 6: only the step window flags.
+	values := []float64{0.01, 0.011, 0.009, 0.01, 0.011, 0.01, 0.08, 0.079, 0.081, 0.08}
+	points := DetectDrift(values, DriftConfig{})
+	got := flagged(points)
+	if len(got) == 0 || got[0] != 6 {
+		t.Fatalf("flagged windows %v, want first flag at 6", got)
+	}
+	for _, w := range got {
+		if w < 6 {
+			t.Fatalf("flagged pre-step window %d", w)
+		}
+	}
+	if !points[6].Flagged || points[6].Z < 3 {
+		t.Fatalf("step window point %+v, want flagged with z >= 3", points[6])
+	}
+}
+
+func TestDetectDriftFlatSeries(t *testing.T) {
+	// A perfectly flat series must not flag and must not produce NaN/Inf
+	// (the sigma floor handles the zero-stddev baseline).
+	values := []float64{0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05}
+	for _, p := range DetectDrift(values, DriftConfig{}) {
+		if p.Flagged {
+			t.Fatalf("flat series flagged window %d", p.Window)
+		}
+		if math.IsNaN(p.Z) || math.IsInf(p.Z, 0) {
+			t.Fatalf("window %d: z = %v", p.Window, p.Z)
+		}
+	}
+}
+
+func TestDetectDriftSigmaFloor(t *testing.T) {
+	// On a flat baseline the sigma floor decides: a shift just over
+	// MinDelta flags, a shift clearly under does not.
+	cfg := DriftConfig{Baseline: 4, MinZ: 3, MinDelta: 0.02}
+	base := []float64{0.01, 0.01, 0.01, 0.01}
+	over := append(append([]float64{}, base...), 0.01+cfg.MinDelta*1.01)
+	if got := flagged(DetectDrift(over, cfg)); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("shift just over MinDelta: flagged %v, want [4]", got)
+	}
+	under := append(append([]float64{}, base...), 0.01+cfg.MinDelta*0.9)
+	if got := flagged(DetectDrift(under, cfg)); len(got) != 0 {
+		t.Fatalf("shift under MinDelta flagged %v", got)
+	}
+}
+
+func TestDetectDriftShortSeries(t *testing.T) {
+	// Series shorter than the baseline never flag; empty series is fine.
+	if got := DetectDrift(nil, DriftConfig{}); len(got) != 0 {
+		t.Fatalf("empty series produced %d points", len(got))
+	}
+	points := DetectDrift([]float64{0, 0.9, 0.1}, DriftConfig{Baseline: 4})
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	if got := flagged(points); len(got) != 0 {
+		t.Fatalf("sub-baseline series flagged %v", got)
+	}
+}
+
+func TestDetectDriftDownwardStep(t *testing.T) {
+	// Drift is two-sided: a drop in flip rate (e.g. a rollback) flags too.
+	values := []float64{0.08, 0.081, 0.079, 0.08, 0.01, 0.011}
+	if got := flagged(DetectDrift(values, DriftConfig{})); len(got) == 0 || got[0] != 4 {
+		t.Fatalf("downward step flagged %v, want first flag at 4", got)
+	}
+}
+
+func TestDriftConfigDefaults(t *testing.T) {
+	got := DriftConfig{}.WithDefaults()
+	want := DriftConfig{Baseline: 4, MinZ: 3, MinDelta: 0.02}
+	if got != want {
+		t.Fatalf("defaults %+v, want %+v", got, want)
+	}
+	if got := (DriftConfig{Baseline: 1}).WithDefaults().Baseline; got != 2 {
+		t.Fatalf("baseline clamp = %d, want 2", got)
+	}
+	// Custom values pass through.
+	custom := DriftConfig{Baseline: 6, MinZ: 2.5, MinDelta: 0.05}
+	if got := custom.WithDefaults(); got != custom {
+		t.Fatalf("custom config rewritten to %+v", got)
+	}
+}
+
+func TestDetectDriftDeterministic(t *testing.T) {
+	values := []float64{0.01, 0.03, 0.02, 0.01, 0.06, 0.02, 0.09, 0.01}
+	a := DetectDrift(values, DriftConfig{})
+	b := DetectDrift(values, DriftConfig{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectDriftCUSUMAccumulates(t *testing.T) {
+	// A slow ramp that never trips the z-score still grows the CUSUM.
+	values := []float64{0.01, 0.01, 0.01, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+	points := DetectDrift(values, DriftConfig{MinZ: 10})
+	if got := flagged(points); len(got) != 0 {
+		t.Fatalf("high-MinZ ramp flagged %v", got)
+	}
+	last := points[len(points)-1]
+	if last.CUSUM <= 0 {
+		t.Fatalf("ramp CUSUM = %v, want > 0", last.CUSUM)
+	}
+	if first := points[3]; first.CUSUM != 0 {
+		t.Fatalf("pre-ramp CUSUM = %v, want 0", first.CUSUM)
+	}
+}

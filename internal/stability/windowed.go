@@ -1,0 +1,174 @@
+package stability
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Windowed accumulates stability records into per-window Accumulators — the
+// time axis of a continuous fleet run. A window is an index in virtual time
+// (capture epoch), not a wall-clock span; records land in whichever window
+// their capture belongs to, and each window independently yields the usual
+// accuracy/instability/flip-rate statistics. Because every window is an
+// ordinary Accumulator, the existing merge machinery carries over: merging
+// per-window shard states window-by-window reproduces single-process
+// windowed accumulation exactly, so windowed reports stay byte-identical
+// under any worker count and shard topology.
+type Windowed struct {
+	mu   sync.Mutex
+	wins map[int]*Accumulator
+}
+
+// NewWindowed returns an empty windowed accumulator.
+func NewWindowed() *Windowed {
+	return &Windowed{wins: map[int]*Accumulator{}}
+}
+
+// Window returns window w's accumulator, creating it on first use. The
+// returned Accumulator is safe for concurrent Add like any other.
+func (w *Windowed) Window(i int) *Accumulator {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	acc := w.wins[i]
+	if acc == nil {
+		acc = NewAccumulator()
+		w.wins[i] = acc
+	}
+	return acc
+}
+
+// Add folds one record into window i.
+func (w *Windowed) Add(i int, r *Record) { w.Window(i).Add(r) }
+
+// AddAll folds records into window i.
+func (w *Windowed) AddAll(i int, rs []*Record) { w.Window(i).AddAll(rs) }
+
+// Windows returns the indices of all non-absent windows in ascending order.
+// A window that received no records but was touched via Window(i) counts —
+// empty windows are meaningful (a fully churned-out population).
+func (w *Windowed) Windows() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.wins))
+	for i := range w.wins {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Snapshot returns window i's snapshot (the zero snapshot for an absent
+// window).
+func (w *Windowed) Snapshot(i int) AccumulatorSnapshot {
+	w.mu.Lock()
+	acc := w.wins[i]
+	w.mu.Unlock()
+	if acc == nil {
+		return NewAccumulator().Snapshot()
+	}
+	return acc.Snapshot()
+}
+
+// Outcomes returns window i's per-cell outcomes (nil-safe: an absent window
+// yields an empty map), ready for ComparePair against a neighboring window.
+func (w *Windowed) Outcomes(i int) map[Cell]Outcome {
+	w.mu.Lock()
+	acc := w.wins[i]
+	w.mu.Unlock()
+	if acc == nil {
+		return map[Cell]Outcome{}
+	}
+	return acc.Outcomes()
+}
+
+// Merge folds other into w window-by-window. Like Accumulator.Merge, other
+// must not be written concurrently and must not share windows with w.
+func (w *Windowed) Merge(other *Windowed) {
+	other.mu.Lock()
+	src := make(map[int]*Accumulator, len(other.wins))
+	for i, acc := range other.wins {
+		src[i] = acc
+	}
+	other.mu.Unlock()
+	for _, i := range sortedKeys(src) {
+		w.Window(i).Merge(src[i])
+	}
+}
+
+func sortedKeys(m map[int]*Accumulator) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// windowedWireVersion is bumped on any incompatible change to the windowed
+// wire shape. The per-window accumulator payload carries its own version
+// (the Accumulator wire format).
+const windowedWireVersion = 1
+
+type windowedWireState struct {
+	Version int                 `json:"version"`
+	Windows []windowedWireEntry `json:"windows"`
+}
+
+type windowedWireEntry struct {
+	Window int             `json:"window"`
+	State  json.RawMessage `json:"state"`
+}
+
+// MarshalState serializes the windowed state for shard transport: windows in
+// ascending order, each carrying its accumulator's own wire state. Output is
+// deterministic — byte-identical states for equal contents.
+func (w *Windowed) MarshalState() ([]byte, error) {
+	w.mu.Lock()
+	wins := make(map[int]*Accumulator, len(w.wins))
+	for i, acc := range w.wins {
+		wins[i] = acc
+	}
+	w.mu.Unlock()
+	st := windowedWireState{Version: windowedWireVersion}
+	for _, i := range sortedKeys(wins) {
+		b, err := wins[i].MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("stability: marshal window %d: %w", i, err)
+		}
+		st.Windows = append(st.Windows, windowedWireEntry{Window: i, State: b})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState validates a windowed wire state and merges it into w,
+// window by window — the shard-merge entry point. Like
+// Accumulator.UnmarshalState it merges rather than replaces, so folding N
+// shard states into one fresh Windowed reproduces single-process windowed
+// accumulation.
+func (w *Windowed) UnmarshalState(data []byte) error {
+	var st windowedWireState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("stability: bad windowed state: %w", err)
+	}
+	if st.Version != windowedWireVersion {
+		return fmt.Errorf("stability: windowed state version %d, want %d", st.Version, windowedWireVersion)
+	}
+	seen := map[int]bool{}
+	for _, e := range st.Windows {
+		if e.Window < 0 {
+			return fmt.Errorf("stability: windowed state has negative window %d", e.Window)
+		}
+		if seen[e.Window] {
+			return fmt.Errorf("stability: windowed state repeats window %d", e.Window)
+		}
+		seen[e.Window] = true
+	}
+	for _, e := range st.Windows {
+		if err := w.Window(e.Window).UnmarshalState(e.State); err != nil {
+			return fmt.Errorf("stability: window %d: %w", e.Window, err)
+		}
+	}
+	return nil
+}

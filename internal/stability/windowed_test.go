@@ -1,0 +1,249 @@
+package stability
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWindowedShardMergeEqualsBatch extends the sharding property to the
+// window ring: split a windowed record stream into k shards, accumulate each
+// independently, merge window-by-window — per-window snapshots must equal
+// one Windowed fed the whole stream, for every k and any shard assignment.
+func TestWindowedShardMergeEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		nWindows := 1 + rng.Intn(6)
+		type placed struct {
+			win int
+			rec *Record
+		}
+		var stream []placed
+		for _, r := range randomRecords(rng, 1+rng.Intn(400)) {
+			stream = append(stream, placed{rng.Intn(nWindows), r})
+		}
+
+		whole := NewWindowed()
+		for _, p := range stream {
+			whole.Add(p.win, p.rec)
+		}
+
+		k := 1 + rng.Intn(4)
+		shards := make([]*Windowed, k)
+		for i := range shards {
+			shards[i] = NewWindowed()
+		}
+		for _, p := range stream {
+			shards[rng.Intn(k)].Add(p.win, p.rec)
+		}
+		merged := NewWindowed()
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+
+		if got, want := merged.Windows(), whole.Windows(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): window sets diverged: %v vs %v", trial, k, got, want)
+		}
+		for _, w := range whole.Windows() {
+			if got, want := merged.Snapshot(w), whole.Snapshot(w); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (k=%d) window %d: merged snapshot diverged", trial, k, w)
+			}
+			if got, want := merged.Outcomes(w), whole.Outcomes(w); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (k=%d) window %d: merged outcomes diverged", trial, k, w)
+			}
+		}
+	}
+}
+
+// TestWindowedWireRoundTrip ships windowed states through the wire format:
+// marshal → unmarshal → marshal must be byte identity, and folding shard
+// wire states into one Windowed must equal batch accumulation.
+func TestWindowedWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		nWindows := 1 + rng.Intn(5)
+		whole := NewWindowed()
+		a, b := NewWindowed(), NewWindowed()
+		for i, r := range randomRecords(rng, 1+rng.Intn(300)) {
+			w := rng.Intn(nWindows)
+			whole.Add(w, r)
+			if i%2 == 0 {
+				a.Add(w, r)
+			} else {
+				b.Add(w, r)
+			}
+		}
+		wantBytes, err := whole.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := NewWindowed()
+		if err := back.UnmarshalState(wantBytes); err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := back.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("trial %d: windowed wire round trip not identity", trial)
+		}
+
+		coordinator := NewWindowed()
+		for _, shard := range []*Windowed{a, b} {
+			state, err := shard.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := coordinator.UnmarshalState(state); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mergedBytes, err := coordinator.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mergedBytes, wantBytes) {
+			t.Fatalf("trial %d: sharded windowed wire merge not byte-identical", trial)
+		}
+	}
+}
+
+// TestEmptyAccumulatorWireRoundTrip pins the empty edge case: a fresh
+// accumulator's state must survive marshal → unmarshal → marshal as byte
+// identity and rebuild an accumulator with the zero snapshot.
+func TestEmptyAccumulatorWireRoundTrip(t *testing.T) {
+	empty := NewAccumulator()
+	state, err := empty.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewAccumulator()
+	if err := back.UnmarshalState(state); err != nil {
+		t.Fatalf("empty state rejected: %v", err)
+	}
+	again, err := back.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, state) {
+		t.Fatalf("empty wire round trip not identity:\n%s\nvs\n%s", again, state)
+	}
+	if got, want := back.Snapshot(), empty.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty round trip snapshot diverged: %+v vs %+v", got, want)
+	}
+	if n := len(back.Outcomes()); n != 0 {
+		t.Fatalf("empty accumulator has %d outcomes, want 0", n)
+	}
+}
+
+// TestWindowedEmptyStates pins the zero-cell-window edge cases: empty
+// Windowed wire round trips, absent windows snapshot/compare as empty, and
+// an explicitly touched-but-empty window survives the wire.
+func TestWindowedEmptyStates(t *testing.T) {
+	empty := NewWindowed()
+	state, err := empty.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewWindowed()
+	if err := back.UnmarshalState(state); err != nil {
+		t.Fatalf("empty windowed state rejected: %v", err)
+	}
+	if again, _ := back.MarshalState(); !bytes.Equal(again, state) {
+		t.Fatalf("empty windowed round trip not identity")
+	}
+	if wins := back.Windows(); len(wins) != 0 {
+		t.Fatalf("empty windowed has windows %v", wins)
+	}
+
+	// Absent windows are safe to read.
+	if n := len(empty.Outcomes(3)); n != 0 {
+		t.Fatalf("absent window has %d outcomes", n)
+	}
+	if snap := empty.Snapshot(3); snap.Records != 0 {
+		t.Fatalf("absent window snapshot has %d records", snap.Records)
+	}
+
+	// A window touched via Window(i) but never fed records is carried
+	// through the wire (an empty window is meaningful: fully churned out).
+	touched := NewWindowed()
+	touched.Window(2)
+	tState, err := touched.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBack := NewWindowed()
+	if err := tBack.UnmarshalState(tState); err != nil {
+		t.Fatal(err)
+	}
+	if got := tBack.Windows(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("touched empty window lost on the wire: windows %v", got)
+	}
+}
+
+// TestComparePairZeroCells pins ComparePair's zero-cell behavior: empty
+// maps on either or both sides yield zero counts and zero (not NaN) rates.
+func TestComparePairZeroCells(t *testing.T) {
+	emptyOutcomes := map[Cell]Outcome{}
+	populated := map[Cell]Outcome{
+		{ItemID: 1, Angle: 0, Env: "e"}: OutcomeCorrect,
+		{ItemID: 2, Angle: 0, Env: "e"}: OutcomeIncorrect,
+	}
+	for _, tc := range []struct {
+		name      string
+		base, arm map[Cell]Outcome
+	}{
+		{"both empty", emptyOutcomes, emptyOutcomes},
+		{"empty base", emptyOutcomes, populated},
+		{"empty arm", populated, emptyOutcomes},
+	} {
+		got := ComparePair(tc.base, tc.arm)
+		if got.Cells != 0 || got.Flips != 0 || got.Regressions != 0 || got.Improvements != 0 {
+			t.Errorf("%s: counts %+v, want all zero", tc.name, got)
+		}
+		if got.FlipRate != 0 || got.Agreement != 0 {
+			t.Errorf("%s: rates flip=%v agree=%v, want 0 (not NaN)", tc.name, got.FlipRate, got.Agreement)
+		}
+	}
+	// Disjoint cells share no pairs either.
+	other := map[Cell]Outcome{{ItemID: 9, Angle: 1, Env: "x"}: OutcomeCorrect}
+	if got := ComparePair(populated, other); got.Cells != 0 || got.FlipRate != 0 {
+		t.Errorf("disjoint: %+v, want zero cells and rate", got)
+	}
+}
+
+// TestWindowedRejectsGarbage checks the defensive paths of the windowed
+// UnmarshalState.
+func TestWindowedRejectsGarbage(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"not json",
+		`{"version":99,"windows":[]}`,
+		`{"version":1,"windows":[{"window":-1,"state":{"version":1}}]}`,
+		`{"version":1,"windows":[{"window":0,"state":{"version":1}},{"window":0,"state":{"version":1}}]}`,
+		`{"version":1,"windows":[{"window":0,"state":{"version":99}}]}`,
+		`{"version":1,"windows":[{"window":0,"state":"nope"}]}`,
+	} {
+		if err := NewWindowed().UnmarshalState([]byte(input)); err == nil {
+			t.Fatalf("accepted garbage windowed state %q", input)
+		}
+	}
+}
+
+// BenchmarkWindowedAccumulate measures sustained-load windowed accumulation:
+// a continuous fleet streaming records across a rotating window ring.
+func BenchmarkWindowedAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	records := randomRecords(rng, 4096)
+	const windows = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWindowed()
+		for j, r := range records {
+			w.Add(j%windows, r)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 #     off/on delta is the observability-tax acceptance number, target <2%)
 #   - BenchmarkSensorCapture — the mosaic loop per parameter combination
 #   - BenchmarkDemosaic — both interpolation kernels
+#   - BenchmarkWindowedAccumulate — the continuous-fleet windowed
+#     accumulation ring (per-record cost of the drift pipeline's hot path)
 #
 #   ./scripts/bench_baseline.sh [out.json]
 #
@@ -35,6 +37,8 @@ go test -run='^$' -bench='^BenchmarkSensorCapture$' \
   -benchmem -count "$COUNT" ./internal/sensor | tee -a "$RAW"
 go test -run='^$' -bench='^BenchmarkDemosaic$' \
   -benchmem -count "$COUNT" ./internal/isp | tee -a "$RAW"
+go test -run='^$' -bench='^BenchmarkWindowedAccumulate$' \
+  -benchmem -count "$COUNT" ./internal/stability | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
 import datetime, json, os, subprocess, sys

@@ -3,10 +3,11 @@
 # coordinator (sharing a model snapshot so the worker trains it once),
 # create a run through the coordinator, wait for it, check the stats and
 # legacy endpoints answer, drive a 2-arm experiment (runtime sweep) through
-# the coordinator and check its paired report, then fire a seeded loadgen
-# burst at the worker's serving path and check admission sheds with 429 and
-# the per-class serve metrics pass the exposition lint. Used by CI and
-# runnable locally:
+# the coordinator and check its paired report, run a continuous fleet
+# (churn + injected OS upgrade) twice and check the drift report recomputes
+# byte-identically, then fire a seeded loadgen burst at the worker's serving
+# path and check admission sheds with 429 and the per-class serve metrics
+# pass the exposition lint. Used by CI and runnable locally:
 #
 #   ./scripts/smoke_fleetd.sh [bin]
 set -euo pipefail
@@ -183,6 +184,75 @@ rates = rep["agreement"]["rates"]
 assert len(rates) == 2 and len(rates[0]) == 2 and rates[0][1] == rates[1][0], rates
 print("report ok: %d/%d cells flip float32->int8" % (paired["flips"], paired["cells"]))
 '
+
+echo "== continuous fleet (churn + cohort OS upgrade through the coordinator)"
+FLEET_SPEC='{"devices":12,"items":1,"angles":[0],"seed":3,"workers":2,"windows":4,"churn":{"join_rate":0.2,"leave_rate":0.2},"events":[{"window":2,"device":0,"kind":"os_upgrade"}]}'
+run_fleet() {
+  # POSTs the fleet spec, waits for completion, leaves the id in FLEET_ID.
+  curl -fsS -X POST "$BASE/v1/fleets" -d "$FLEET_SPEC" >"$WORKDIR/fleet.json"
+  FLEET_ID=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORKDIR/fleet.json")
+  local state=running
+  for _ in $(seq 1 120); do
+    state=$(curl -fsS "$BASE/v1/fleets/$FLEET_ID" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])') || {
+      echo "fleet status poll failed" >&2
+      tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+      exit 1
+    }
+    [ "$state" != running ] && break
+    sleep 1
+  done
+  if [ "$state" != done ]; then
+    echo "fleet ended in state $state" >&2
+    tail -40 "$WORKDIR/worker.log" "$WORKDIR/coord.log" >&2
+    exit 1
+  fi
+}
+run_fleet
+curl -fsS "$BASE/v1/fleets/$FLEET_ID/report" | python3 -c '
+import json, sys
+rep = json.load(sys.stdin)
+assert rep["devices_done"] == 12, rep["devices_done"]
+assert len(rep["windows"]) == 4, len(rep["windows"])
+w2 = rep["windows"][2]
+assert any(e["kind"] == "os_upgrade" for e in w2.get("events", [])), w2
+assert w2["paired"]["cells"] > 0, w2
+print("fleet report ok: %d windows, %d captures" % (len(rep["windows"]), rep["captures"]))
+'
+curl -fsS "$BASE/v1/fleets/$FLEET_ID/windows" >"$WORKDIR/fleet.windows"
+curl -fsS "$BASE/v1/fleets/$FLEET_ID/drift" >"$WORKDIR/fleet.drift1"
+python3 - "$WORKDIR/fleet.drift1" <<'PY'
+import json, sys
+drift = json.load(open(sys.argv[1]))
+assert len(drift["rates"]) == 4, drift["rates"]
+assert drift["rates"][0] == 0, drift["rates"]
+assert len(drift["cohorts"]) == 5, len(drift["cohorts"])
+print("fleet drift ok: rates=%s flags=%d" % (drift["rates"], len(drift.get("flags") or [])))
+PY
+
+echo "== fleet drift determinism (same spec recomputed, byte-identical)"
+run_fleet
+curl -fsS "$BASE/v1/fleets/$FLEET_ID/drift" >"$WORKDIR/fleet.drift2"
+cmp "$WORKDIR/fleet.drift1" "$WORKDIR/fleet.drift2"
+echo "drift recomputed byte-identical"
+
+echo "== fleet metrics (lifecycle counters + flip-rate gauge, linted)"
+curl -fsS "localhost:$WORKER_PORT/metrics" >"$WORKDIR/fleet-worker.metrics"
+curl -fsS "localhost:$COORD_PORT/metrics" >"$WORKDIR/fleet-coord.metrics"
+"$SCRIPT_DIR/lint_metrics.sh" "$WORKDIR/fleet-worker.metrics"
+"$SCRIPT_DIR/lint_metrics.sh" "$WORKDIR/fleet-coord.metrics"
+python3 - "$WORKDIR/fleet-worker.metrics" "$WORKDIR/fleet-coord.metrics" <<'PY'
+import re, sys
+worker = open(sys.argv[1]).read()
+coord = open(sys.argv[2]).read()
+# Windows execute on the worker (fleet shards), the resource lives on the
+# coordinator (lifecycle counters + flip-rate gauge from the final report).
+m = re.search(r"^fleet_windows_total (\d+)$", worker, re.M)
+assert m and int(m.group(1)) > 0, "worker recorded no fleet windows"
+assert re.search(r"^fleet_active_devices 0$", worker, re.M), "active-device gauge did not drain to 0"
+assert re.search(r'^fleetd_fleets_finished_total\{state="done"\} 2$', coord, re.M), coord
+assert re.search(r'^fleetd_fleet_window_flip_rate\{window="1"\} ', coord, re.M), coord
+print("fleet metrics ok: worker windows=%s" % m.group(1))
+PY
 
 echo "== loadgen burst (seeded, over-rate: must shed with 429)"
 # One cohort offered at 2000 req/s against the stock interactive class
