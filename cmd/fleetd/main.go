@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/fleetapi"
 	"repro/internal/fleetd"
 	"repro/internal/lab"
 	"repro/internal/nn"
@@ -78,6 +79,8 @@ func main() {
 	history := flag.Int("history", 32, "finished runs kept for GET /runs")
 	peers := flag.String("peers", "", "comma-separated peer instances; when set, runs are split across them as device-range shards")
 	peerWait := flag.Duration("peer-wait", 60*time.Second, "how long a coordinator waits for its peers to become healthy at startup")
+	serveMaxBatch := flag.Int("serve-max-batch", 0, "cap on requests one serve worker drains into a single batched inference, applied to every SLO class (0 keeps the class default of 1)")
+	serveLinger := flag.Int64("serve-linger-ms", 0, "how long a serve worker holds a partial batch open for the queue to top it up (0 derives target/20; needs -serve-max-batch > 1)")
 	logFormat := flag.String("log-format", obs.FormatText, "log line format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofAddr := flag.String("pprof", "", "listen address for a net/http/pprof side listener (empty disables)")
@@ -109,6 +112,20 @@ func main() {
 	reg := obs.NewRegistry()
 	stopGauges := obs.StartRuntimeGauges(reg, 0)
 	defer stopGauges()
+	var serveOpts fleetd.ServeOptions
+	if *serveMaxBatch > 0 || *serveLinger > 0 {
+		classes := fleetapi.DefaultSLOClasses()
+		for i := range classes {
+			if *serveMaxBatch > 0 {
+				classes[i].MaxBatch = *serveMaxBatch
+			}
+			classes[i].LingerMillis = *serveLinger
+			if err := classes[i].Validate(); err != nil {
+				fatalf(logger, "bad serve batching flags: %v", err)
+			}
+		}
+		serveOpts.Classes = classes
+	}
 	s := fleetd.New(fleetd.Options{
 		Factory:     fleet.BackendReplicator(cfg.Arch, model),
 		ModelParams: model.NumParams(),
@@ -116,6 +133,7 @@ func main() {
 		Peers:       peerList,
 		Log:         logger,
 		Registry:    reg,
+		Serve:       serveOpts,
 	})
 
 	if *pprofAddr != "" {

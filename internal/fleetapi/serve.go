@@ -75,6 +75,9 @@ type ServeResponse struct {
 	Runtime   string  `json:"runtime"`
 	Class     string  `json:"class"`
 	Bytes     int     `json:"bytes"` // compressed capture size
+	// BatchSize is how many requests shared the inference pass that served
+	// this one (1 = unbatched).
+	BatchSize int `json:"batch"`
 	// QueueNanos is how long the request waited for a serve worker after
 	// admission; StageNanos the capture/inference breakdown; TotalNanos the
 	// whole admitted-to-replied time.
@@ -109,6 +112,41 @@ type SLOClass struct {
 	// QueueDepth bounds how many admitted requests may wait for a serve
 	// worker; a full queue sheds.
 	QueueDepth int `json:"queue_depth"`
+	// MaxBatch caps how many queued requests one serve worker drains into a
+	// single batched capture+inference pass. 0 and 1 both mean unbatched
+	// (one job per wake — the pre-batching behavior); larger values let the
+	// int8 GEMM amortize weight traffic across the batch at the cost of
+	// per-request latency while the batch forms.
+	MaxBatch int `json:"max_batch,omitempty"`
+	// LingerMillis bounds how long a worker holding a partial batch waits
+	// for the queue to top it up to MaxBatch. 0 derives a default from the
+	// class's latency target (target/20, so lingering can never eat more
+	// than 5% of the budget); it only applies when MaxBatch > 1.
+	LingerMillis int64 `json:"linger_ms,omitempty"`
+}
+
+// MaxServeBatch caps max_batch: past this the batch's own service time
+// dominates any weight-traffic amortization and only builds tail latency.
+const MaxServeBatch = 64
+
+// EffectiveBatch returns the batch cap with the unbatched default applied.
+func (c SLOClass) EffectiveBatch() int {
+	if c.MaxBatch <= 1 {
+		return 1
+	}
+	return c.MaxBatch
+}
+
+// Linger returns how long a worker may hold a partial batch open: zero for
+// unbatched classes, the explicit linger_ms when set, else target/20.
+func (c SLOClass) Linger() time.Duration {
+	if c.EffectiveBatch() == 1 {
+		return 0
+	}
+	if c.LingerMillis > 0 {
+		return time.Duration(c.LingerMillis) * time.Millisecond
+	}
+	return time.Duration(c.TargetNanos / 20)
 }
 
 // Validate checks the class is usable for admission.
@@ -127,6 +165,15 @@ func (c SLOClass) Validate() error {
 	}
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("SLO class %q: queue_depth=%d must be at least 1", c.Name, c.QueueDepth)
+	}
+	if c.MaxBatch < 0 || c.MaxBatch > MaxServeBatch {
+		return fmt.Errorf("SLO class %q: max_batch=%d out of range [0, %d]", c.Name, c.MaxBatch, MaxServeBatch)
+	}
+	if c.LingerMillis < 0 {
+		return fmt.Errorf("SLO class %q: linger_ms=%d must be non-negative", c.Name, c.LingerMillis)
+	}
+	if lingerNanos := c.LingerMillis * int64(time.Millisecond); lingerNanos > c.TargetNanos {
+		return fmt.Errorf("SLO class %q: linger_ms=%d exceeds the class's own latency target", c.Name, c.LingerMillis)
 	}
 	return nil
 }
@@ -147,6 +194,11 @@ func DefaultSLOClasses() []SLOClass {
 // a recorded trace — same shape, so the two are directly comparable.
 type SLOReport struct {
 	Classes []SLOClassReport `json:"classes"`
+	// Fairness is the Jain fairness index over the per-class attainments
+	// (classes that served nothing are excluded): 1 when every class meets
+	// its SLO equally, approaching 1/n when one of n classes absorbs all
+	// the attainment. It is the cross-class summary of who the load hurt.
+	Fairness float64 `json:"fairness"`
 }
 
 // SLOClassReport is one class's row of an SLOReport.
@@ -165,6 +217,31 @@ type SLOClassReport struct {
 	// Latency and queue-wait quantiles in nanoseconds (bucket-interpolated).
 	LatencyNanos   QuantileSet `json:"latency_ns"`
 	QueueWaitNanos QuantileSet `json:"queue_wait_ns"`
+	// MeanBatch is the observed mean batch size. fleetd reports the mean
+	// over executed batches; loadgen reports the request-weighted mean over
+	// served events (each request names the batch it rode in), which is
+	// size-biased upward of the former. 0 when nothing was served.
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the values:
+// 1 when all are equal, 1/n when one value holds everything. All-zero input
+// is perfectly equal and reports 1; an empty input reports 0 (no data is
+// not fairness). Both the live /v1/slo report and loadgen's trace report
+// apply it to per-class SLO attainment.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
 // QuantileSet is the p50/p95/p99 triple of one latency distribution.

@@ -1,0 +1,6 @@
+//go:build race
+
+package fleetd
+
+// raceEnabled mirrors the race detector state for tests; see race_off_test.go.
+const raceEnabled = true

@@ -27,7 +27,13 @@ const (
 	metricServeLatency   = "fleetd_serve_seconds"            // class (queue wait + service)
 	metricServeQueueWait = "fleetd_serve_queue_wait_seconds" // class
 	metricServeDepth     = "fleetd_serve_queue_depth"        // class
+	metricServeBatch     = "fleetd_serve_batch_size"         // class (jobs per executed batch)
 )
+
+// batchSizeBounds buckets the per-class batch-size histogram: powers of two
+// up to fleetapi.MaxServeBatch. Sum/count of this histogram is the observed
+// mean batch size /v1/slo reports.
+func batchSizeBounds() []int64 { return []int64{1, 2, 4, 8, 16, 32, 64} }
 
 // ServeOptions configures the request-serving leg of an instance.
 type ServeOptions struct {
@@ -52,9 +58,15 @@ type tokenBucket struct {
 	last  time.Time
 }
 
+// maxRetryAfter caps the Retry-After a shed reply advertises. A class
+// configured at a near-zero rate would otherwise compute hours of backoff;
+// past a minute the number stops being advice a client can act on (an early
+// retry just sheds again, cheaply).
+const maxRetryAfter = time.Minute
+
 // take consumes one token if available, refilling for the elapsed time
 // first. When empty it reports how long until a token accrues — the
-// Retry-After a shed reply carries.
+// Retry-After a shed reply carries, clamped to maxRetryAfter.
 func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -71,7 +83,11 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 		b.level--
 		return true, 0
 	}
-	return false, time.Duration((1 - b.level) / b.rate * float64(time.Second))
+	retry := time.Duration((1 - b.level) / b.rate * float64(time.Second))
+	if retry > maxRetryAfter || retry < 0 { // <0: rate small enough to overflow the conversion
+		retry = maxRetryAfter
+	}
+	return false, retry
 }
 
 // serveJob is one admitted request waiting for (or being executed by) a
@@ -80,6 +96,7 @@ type serveJob struct {
 	req   fleetapi.ServeRequest
 	class *serveClass
 	enq   time.Time
+	wait  time.Duration // queue wait, stamped when batch execution starts
 	ctx   context.Context
 	done  chan serveResult
 }
@@ -97,6 +114,7 @@ type serveClass struct {
 	depth     *obs.Gauge
 	latency   *obs.Histogram
 	queueWait *obs.Histogram
+	batch     *obs.Histogram // jobs per executed batch
 }
 
 // serveState is the Server's request-serving leg: the classes, the shared
@@ -113,6 +131,7 @@ type serveState struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	workers  int
+	wg       sync.WaitGroup // live serveWorker goroutines
 }
 
 // bundleKey addresses one serving universe: the deterministic fleet and
@@ -162,6 +181,7 @@ func (s *Server) initServe(o ServeOptions) {
 	s.reg.Describe(metricServeLatency, "Serve request latency (queue wait + service) by SLO class.")
 	s.reg.Describe(metricServeQueueWait, "Time an admitted serve request waited for a worker, by SLO class.")
 	s.reg.Describe(metricServeDepth, "Admitted serve requests currently queued, by SLO class.")
+	s.reg.Describe(metricServeBatch, "Jobs per executed serve batch, by SLO class.")
 	depthCap := 0
 	for _, spec := range classes {
 		c := &serveClass{
@@ -171,6 +191,7 @@ func (s *Server) initServe(o ServeOptions) {
 			depth:     s.reg.Gauge(metricServeDepth, "class", spec.Name),
 			latency:   s.reg.DurationHistogram(metricServeLatency, "class", spec.Name),
 			queueWait: s.reg.DurationHistogram(metricServeQueueWait, "class", spec.Name),
+			batch:     s.reg.Histogram(metricServeBatch, batchSizeBounds(), 1, "class", spec.Name),
 		}
 		st.classes = append(st.classes, c)
 		st.byName[spec.Name] = c
@@ -178,6 +199,7 @@ func (s *Server) initServe(o ServeOptions) {
 	}
 	st.wake = make(chan struct{}, depthCap)
 	s.serve = st
+	st.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.serveWorker()
 	}
@@ -330,9 +352,11 @@ func (s *Server) countServe(class string, code int) {
 
 // serveWorker executes admitted requests. Each worker owns a backend LRU (a
 // backend caches forward scratch and cannot be shared), and picks work in
-// class priority order: one wake token is consumed per job, then the
-// earliest-configured class with a queued job wins.
+// class priority order: one wake token is consumed per batch-forming pass,
+// then the earliest-configured class with a queued job wins the pass and
+// may drain up to its MaxBatch of followers.
 func (s *Server) serveWorker() {
+	defer s.serve.wg.Done()
 	backends := fleet.NewLRU[string, nn.Backend](8)
 	for {
 		select {
@@ -341,16 +365,87 @@ func (s *Server) serveWorker() {
 			return
 		case <-s.serve.wake:
 		}
-		for _, class := range s.serve.classes {
+		batch, stopping := s.collectBatch()
+		if len(batch) > 0 {
+			if stopping {
+				// Shutdown landed while the batch was forming: jobs already
+				// pulled off their queue must still be answered, exactly as
+				// drainServe answers the ones left queued.
+				failServe(batch)
+			} else {
+				s.executeServeBatch(batch, backends)
+			}
+		}
+		if stopping {
+			s.drainServe()
+			return
+		}
+	}
+}
+
+// collectBatch is one batch-forming pass: the earliest-configured class with
+// a queued job wins, then up to its MaxBatch jobs are drained non-blocking.
+// If the batch is still short and the class lingers, the worker holds it
+// open up to the linger deadline for the queue to top it up. Every job
+// drained beyond the first eats one wake token (each enqueue posted one), so
+// tokens keep tracking queued jobs instead of waking workers into empty
+// scans. stopping reports that shutdown interrupted the linger wait.
+func (s *Server) collectBatch() (batch []*serveJob, stopping bool) {
+	for _, class := range s.serve.classes {
+		select {
+		case job := <-class.queue:
+			class.depth.Add(-1)
+			batch = append(batch, job)
+		default:
+			continue
+		}
+		max := class.spec.EffectiveBatch()
+	drain:
+		for len(batch) < max {
 			select {
 			case job := <-class.queue:
 				class.depth.Add(-1)
-				s.executeServe(job, backends)
+				batch = append(batch, job)
+				s.eatWakeToken()
 			default:
-				continue
+				break drain
 			}
-			break
 		}
+		if linger := class.spec.Linger(); linger > 0 && len(batch) < max {
+			timer := time.NewTimer(linger)
+			for len(batch) < max {
+				select {
+				case job := <-class.queue:
+					class.depth.Add(-1)
+					batch = append(batch, job)
+					s.eatWakeToken()
+				case <-timer.C:
+					return batch, false
+				case <-s.serve.stop:
+					timer.Stop()
+					return batch, true
+				}
+			}
+			timer.Stop()
+		}
+		return batch, false
+	}
+	return nil, false
+}
+
+// eatWakeToken consumes one pending wake token if there is one — the token
+// posted by a job this worker just drained as a batch follower.
+func (s *Server) eatWakeToken() {
+	select {
+	case <-s.serve.wake:
+	default:
+	}
+}
+
+// failServe answers every job in the slice with the shutdown envelope.
+func failServe(jobs []*serveJob) {
+	for _, job := range jobs {
+		job.done <- serveResult{err: fleetapi.Errorf(fleetapi.CodeUnavailable, "server is shutting down")}
 	}
 }
 
@@ -371,53 +466,138 @@ func (s *Server) drainServe() {
 	}
 }
 
-// executeServe runs one capture→classify. The capture is the exact cell the
-// batch hot path would compute — same arena'd engine, same cell-seeded RNG —
-// so a served prediction is bit-reproducible given (seed, device, item,
-// angle, runtime).
-func (s *Server) executeServe(job *serveJob, backends *fleet.LRU[string, nn.Backend]) {
-	queueWait := time.Since(job.enq)
-	job.class.queueWait.Observe(queueWait.Nanoseconds())
-	if job.ctx.Err() != nil {
-		// Client hung up while the job queued; don't burn a capture on it.
-		job.done <- serveResult{err: fleetapi.Errorf(fleetapi.CodeUnavailable, "client went away")}
+// batchItem is one distinct cell's in-flight state while its batch executes:
+// the capture output, the runtime group it joins for inference, and every
+// coalesced job waiting on it.
+type batchItem struct {
+	jobs   []*serveJob // live jobs asking for this exact cell, in batch order
+	img    *imaging.Image
+	size   int
+	stages fleet.StageTimes
+	rt     string
+	it     *dataset.Item
+}
+
+// cellKey identifies one deterministic serving cell — the full coordinate a
+// response is a pure function of. Jobs in a batch with equal keys coalesce.
+type cellKey struct {
+	seed                int64
+	items, scale        int
+	device, item, angle int
+	rt                  string
+}
+
+// executeServeBatch runs one formed batch end to end. Every distinct cell's
+// capture is still its own arena'd, cell-seeded capture — batching changes
+// when cells are computed, never their bytes — and inference is issued once
+// per runtime represented in the batch: the captured images pack into a
+// single imaging.BatchTensor (inside train.Evaluate) and one Infer call
+// serves the whole group.
+//
+// Within the batch, jobs naming the same cell coalesce: a response is a pure
+// function of (seed, items, scale, device, item, angle, runtime), so the
+// cell is captured and inferred once and the identical result fans out to
+// every coalesced job. This is where batching buys real throughput — under
+// hot-cell traffic a formed batch of n duplicates costs one capture+infer
+// where batch-1 execution pays n — and it is sound only because cells are
+// bit-deterministic, which the golden identity test pins. The batched
+// inference wall time is split across the group's jobs pro rata (equal
+// shares), so per-request stage accounting still sums sensibly.
+func (s *Server) executeServeBatch(jobs []*serveJob, backends *fleet.LRU[string, nn.Backend]) {
+	class := jobs[0].class
+	live := 0
+	byCell := map[cellKey]*batchItem{}
+	cells := make([]*batchItem, 0, len(jobs))
+	for _, job := range jobs {
+		job.wait = time.Since(job.enq)
+		job.class.queueWait.Observe(job.wait.Nanoseconds())
+		if job.ctx.Err() != nil {
+			// Client hung up while the job queued; don't burn a capture on it.
+			job.done <- serveResult{err: fleetapi.Errorf(fleetapi.CodeUnavailable, "client went away")}
+			continue
+		}
+		live++
+		req := job.req
+		bundle := s.serveBundleFor(req)
+		rt := req.Runtime
+		if rt == "" {
+			rt = bundle.gen.Device(req.Device).Profile.RuntimeName()
+		}
+		key := cellKey{
+			seed: req.Seed, items: itemsOrDefault(req.Items), scale: req.Scale,
+			device: req.Device, item: req.Item, angle: req.Angle, rt: rt,
+		}
+		if cell := byCell[key]; cell != nil {
+			cell.jobs = append(cell.jobs, job)
+			continue
+		}
+		cell := &batchItem{jobs: []*serveJob{job}, rt: rt}
+		byCell[key] = cell
+		cells = append(cells, cell)
+	}
+	if live == 0 {
 		return
 	}
-	req := job.req
-	bundle := s.serveBundleFor(req)
-	d := bundle.gen.Device(req.Device)
-	it := bundle.items[req.Item]
-	img, size, stages := bundle.engine.CaptureTimed(d, it, req.Angle)
-	rt := req.Runtime
-	if rt == "" {
-		rt = d.Profile.RuntimeName()
+	class.batch.Observe(int64(live))
+	for _, cell := range cells {
+		req := cell.jobs[0].req
+		bundle := s.serveBundleFor(req)
+		d := bundle.gen.Device(req.Device)
+		cell.it = bundle.items[req.Item]
+		cell.img, cell.size, cell.stages = bundle.engine.CaptureTimed(d, cell.it, req.Angle)
 	}
-	backend := backends.GetOrCompute(rt, func() nn.Backend { return s.factory(rt) })
-	t0 := time.Now()
-	preds, scores, _ := train.Evaluate(backend, []*imaging.Image{img}, 1)
-	inferNanos := time.Since(t0).Nanoseconds()
-	imaging.PutImage(img)
-	if s.tele != nil {
-		s.tele.Inference.Observe(inferNanos)
+	// Group cells by runtime: requests pinning different runtimes can share
+	// a formed batch, but each backend sees one contiguous sub-batch. Group
+	// order follows first appearance, so execution is deterministic in the
+	// batch's job order.
+	byRuntime := map[string][]*batchItem{}
+	var order []string
+	for _, cell := range cells {
+		if _, ok := byRuntime[cell.rt]; !ok {
+			order = append(order, cell.rt)
+		}
+		byRuntime[cell.rt] = append(byRuntime[cell.rt], cell)
 	}
-	total := time.Since(job.enq)
-	job.class.latency.Observe(total.Nanoseconds())
-	job.done <- serveResult{resp: fleetapi.ServeResponse{
-		Pred:       preds[0],
-		TrueClass:  int(it.Class),
-		Score:      scores[0],
-		Runtime:    rt,
-		Class:      job.class.spec.Name,
-		Bytes:      size,
-		QueueNanos: queueWait.Nanoseconds(),
-		StageNanos: fleetapi.ServeStageNanos{
-			Sensor:    stages.SensorNanos,
-			ISP:       stages.ISPNanos,
-			Codec:     stages.CodecNanos,
-			Inference: inferNanos,
-		},
-		TotalNanos: total.Nanoseconds(),
-	}}
+	for _, rt := range order {
+		group := byRuntime[rt]
+		backend := backends.GetOrCompute(rt, func() nn.Backend { return s.factory(rt) })
+		imgs := make([]*imaging.Image, len(group))
+		groupJobs := 0
+		for i, cell := range group {
+			imgs[i] = cell.img
+			groupJobs += len(cell.jobs)
+		}
+		t0 := time.Now()
+		preds, scores, _ := train.Evaluate(backend, imgs, len(imgs))
+		share := time.Since(t0).Nanoseconds() / int64(groupJobs)
+		for i, cell := range group {
+			imaging.PutImage(cell.img)
+			for _, job := range cell.jobs {
+				if s.tele != nil {
+					s.tele.Inference.Observe(share)
+				}
+				total := time.Since(job.enq)
+				job.class.latency.Observe(total.Nanoseconds())
+				job.done <- serveResult{resp: fleetapi.ServeResponse{
+					Pred:       preds[i],
+					TrueClass:  int(cell.it.Class),
+					Score:      scores[i],
+					Runtime:    rt,
+					Class:      job.class.spec.Name,
+					Bytes:      cell.size,
+					BatchSize:  groupJobs,
+					QueueNanos: job.wait.Nanoseconds(),
+					StageNanos: fleetapi.ServeStageNanos{
+						Sensor:    cell.stages.SensorNanos,
+						ISP:       cell.stages.ISPNanos,
+						Codec:     cell.stages.CodecNanos,
+						Inference: share,
+					},
+					TotalNanos: total.Nanoseconds(),
+				}}
+			}
+		}
+	}
 }
 
 // handleSLO serves GET /v1/slo: the serving path's live SLO report, built
@@ -430,9 +610,11 @@ func (s *Server) handleSLO(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	rep := fleetapi.SLOReport{Classes: make([]fleetapi.SLOClassReport, 0, len(s.serve.classes))}
+	var attainments []float64
 	for _, c := range s.serve.classes {
 		lat := c.latency.Snapshot()
 		qw := c.queueWait.Snapshot()
+		batch := c.batch.Snapshot()
 		served := lat.Total()
 		shedRate := s.reg.Counter(metricServeShed, "class", c.spec.Name, "reason", "rate").Value()
 		shedQueue := s.reg.Counter(metricServeShed, "class", c.spec.Name, "reason", "queue").Value()
@@ -456,9 +638,16 @@ func (s *Server) handleSLO(w http.ResponseWriter, req *http.Request) {
 		}
 		if served > 0 {
 			row.Attainment = float64(lat.CountLE(c.spec.TargetNanos)) / float64(served)
+			attainments = append(attainments, row.Attainment)
+		}
+		// Mean over executed batches: the histogram's sum is total batched
+		// jobs, its count the number of batches.
+		if batches := batch.Total(); batches > 0 {
+			row.MeanBatch = float64(batch.Sum) / float64(batches)
 		}
 		rep.Classes = append(rep.Classes, row)
 	}
+	rep.Fairness = fleetapi.JainIndex(attainments)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(rep.JSON())

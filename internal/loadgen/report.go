@@ -18,10 +18,11 @@ import (
 // so compare attainment and counts across the two, not quantile digits.
 func Report(classes []fleetapi.SLOClass, events []Event) fleetapi.SLOReport {
 	rep := fleetapi.SLOReport{Classes: make([]fleetapi.SLOClassReport, 0, len(classes))}
+	var attainments []float64
 	for _, class := range classes {
 		row := fleetapi.SLOClassReport{Class: class.Name, TargetNanos: class.TargetNanos}
 		var latencies, waits []int64
-		var within int64
+		var within, batchSum, batched int64
 		for _, e := range events {
 			if e.Class != class.Name {
 				continue
@@ -35,6 +36,10 @@ func Report(classes []fleetapi.SLOClass, events []Event) fleetapi.SLOReport {
 				if e.LatencyNanos <= class.TargetNanos {
 					within++
 				}
+				if e.Batch > 0 {
+					batchSum += int64(e.Batch)
+					batched++
+				}
 			case e.Code == fleetapi.CodeRateLimited:
 				row.ShedRate++
 			case e.Code == fleetapi.CodeQueueFull:
@@ -45,11 +50,18 @@ func Report(classes []fleetapi.SLOClass, events []Event) fleetapi.SLOReport {
 		}
 		if row.Served > 0 {
 			row.Attainment = float64(within) / float64(row.Served)
+			attainments = append(attainments, row.Attainment)
+		}
+		// Request-weighted mean batch (each served event names the batch it
+		// rode in); pre-batching traces carry no batch sizes and report 0.
+		if batched > 0 {
+			row.MeanBatch = float64(batchSum) / float64(batched)
 		}
 		row.LatencyNanos = quantiles(latencies)
 		row.QueueWaitNanos = quantiles(waits)
 		rep.Classes = append(rep.Classes, row)
 	}
+	rep.Fairness = fleetapi.JainIndex(attainments)
 	return rep
 }
 

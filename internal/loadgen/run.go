@@ -102,6 +102,7 @@ func fireOne(ctx context.Context, client *fleetapi.Client, seed int64, a Arrival
 	e.LatencyNanos = time.Since(t0).Nanoseconds()
 	e.QueueNanos = resp.QueueNanos
 	e.Pred = resp.Pred
+	e.Batch = resp.BatchSize
 	return e
 }
 

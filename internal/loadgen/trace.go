@@ -44,11 +44,13 @@ type Event struct {
 	Status int    `json:"status"`
 	Code   string `json:"code,omitempty"`
 	// LatencyNanos is the client-observed request latency; QueueNanos the
-	// server-reported queue wait; Pred the prediction — all zero for sheds
-	// and failures.
+	// server-reported queue wait; Pred the prediction; Batch the size of
+	// the inference batch the request rode in — all zero for sheds and
+	// failures. Batch is also 0 in traces recorded before batched serving.
 	LatencyNanos int64 `json:"latency_ns,omitempty"`
 	QueueNanos   int64 `json:"queue_ns,omitempty"`
 	Pred         int   `json:"pred,omitempty"`
+	Batch        int   `json:"batch,omitempty"`
 }
 
 // Served reports whether the request was accepted and answered.

@@ -124,14 +124,27 @@ func Evaluate(b nn.Backend, images []*imaging.Image, batchSize int) (preds []int
 	preds = make([]int, len(images))
 	scores = make([]float64, len(images))
 	probs = make([][]float64, len(images))
+	in := b.InputSize()
 	for start := 0; start < len(images); start += batchSize {
 		end := start + batchSize
 		if end > len(images) {
 			end = len(images)
 		}
-		batch := make([]*imaging.Image, end-start)
-		for i := start; i < end; i++ {
-			batch[i-start] = resizeToBackend(b, images[i])
+		// Size-matched batches (the serve hot path: captures land at model
+		// resolution) skip both the per-batch slice copy and resizeToBackend;
+		// the subslice feeds BatchTensor directly.
+		batch := images[start:end]
+		for i, im := range batch {
+			if im.W == in && im.H == in {
+				continue
+			}
+			resized := make([]*imaging.Image, end-start)
+			copy(resized, batch[:i])
+			for j := i; j < len(batch); j++ {
+				resized[j] = resizeToBackend(b, batch[j])
+			}
+			batch = resized
+			break
 		}
 		p := b.Infer(imaging.BatchTensor(batch))
 		for i := start; i < end; i++ {

@@ -115,6 +115,36 @@ func TestEvaluateResizesInputs(t *testing.T) {
 	}
 }
 
+// TestEvaluateFastPathMatchesResizePath: a batch whose images already sit at
+// the backend's input size takes the copy-free fast path; mixing one
+// off-size image into the batch forces the resize path for the whole batch.
+// Size-matched images must score identically either way, and the caller's
+// slice must come back untouched (the resize path works on its own copy).
+func TestEvaluateFastPathMatchesResizePath(t *testing.T) {
+	m := tinyModel(26)
+	matched, _ := separableImages(6, 27) // 16x16 == tinyModel input
+	fastPreds, fastScores, _ := Evaluate(m, matched, 8)
+
+	big := imaging.New(40, 40)
+	big.Fill(0.5, 0.5, 0.5)
+	mixed := append(append([]*imaging.Image{}, matched[:3]...), big)
+	mixed = append(mixed, matched[3:]...)
+	before := append([]*imaging.Image{}, mixed...)
+	preds, scores, _ := Evaluate(m, mixed, 8)
+
+	for i, j := range []int{0, 1, 2, 4, 5, 6} { // mixed positions of matched images
+		if preds[j] != fastPreds[i] || scores[j] != fastScores[i] {
+			t.Fatalf("image %d: fast path (%d, %v) vs resize path (%d, %v)",
+				i, fastPreds[i], fastScores[i], preds[j], scores[j])
+		}
+	}
+	for i := range mixed {
+		if mixed[i] != before[i] {
+			t.Fatalf("Evaluate replaced caller's image %d", i)
+		}
+	}
+}
+
 func TestTopKOf(t *testing.T) {
 	probs := [][]float64{{0.1, 0.6, 0.3}}
 	top := TopKOf(probs, 2)

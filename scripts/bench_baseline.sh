@@ -17,6 +17,10 @@
 #   - BenchmarkDemosaic — both interpolation kernels
 #   - BenchmarkWindowedAccumulate — the continuous-fleet windowed
 #     accumulation ring (per-record cost of the drift pipeline's hot path)
+#   - BenchmarkServeBatch — the serve execute path at formed-batch sizes
+#     1/8/16 over a hot-cell stream (jobs/sec rising with the batch bound is
+#     the micro-batching acceptance number: duplicate cells coalesce into
+#     one capture+infer)
 #
 #   ./scripts/bench_baseline.sh [out.json]
 #
@@ -39,6 +43,8 @@ go test -run='^$' -bench='^BenchmarkDemosaic$' \
   -benchmem -count "$COUNT" ./internal/isp | tee -a "$RAW"
 go test -run='^$' -bench='^BenchmarkWindowedAccumulate$' \
   -benchmem -count "$COUNT" ./internal/stability | tee -a "$RAW"
+go test -run='^$' -bench='^BenchmarkServeBatch$' \
+  -benchmem -count "$COUNT" ./internal/fleetd | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
 import datetime, json, os, subprocess, sys

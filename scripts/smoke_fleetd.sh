@@ -6,8 +6,10 @@
 # the coordinator and check its paired report, run a continuous fleet
 # (churn + injected OS upgrade) twice and check the drift report recomputes
 # byte-identically, then fire a seeded loadgen burst at the worker's serving
-# path and check admission sheds with 429 and the per-class serve metrics
-# pass the exposition lint. Used by CI and runnable locally:
+# path (micro-batching enabled via -serve-max-batch) and check admission
+# sheds with 429, batches actually form (mean executed batch > 1), and the
+# per-class serve metrics pass the exposition lint. Used by CI and runnable
+# locally:
 #
 #   ./scripts/smoke_fleetd.sh [bin]
 set -euo pipefail
@@ -41,8 +43,11 @@ wait_healthz() {
 }
 
 # Worker first: it trains and snapshots the model; the coordinator then
-# loads the snapshot instead of retraining.
+# loads the snapshot instead of retraining. Serve micro-batching is on
+# (batches of up to 8 per class) so the loadgen burst below exercises batch
+# formation, not just admission.
 "$BIN" -addr ":$WORKER_PORT" -train-items 60 -epochs 1 -model "$MODEL" \
+  -serve-max-batch 8 \
   >"$WORKDIR/worker.log" 2>&1 &
 WORKER_PID=$!
 wait_healthz "$WORKER_PORT"
@@ -303,7 +308,15 @@ for name in ("fleetd_serve_seconds", "fleetd_serve_queue_wait_seconds"):
     assert re.search(r'^%s_bucket\{class="interactive",le="\+Inf"\} \d+$' % name, m, re.M), \
         "missing per-class %s histogram" % name
 assert re.search(r'^fleetd_serve_queue_depth\{class="interactive"\} ', m, re.M), "missing queue depth gauge"
-print("serve metrics ok: rate sheds=%s" % shed.group(1))
+# Micro-batching: the batch-size histogram must be exposed, and with
+# -serve-max-batch 8 the over-rate burst must have formed real batches.
+assert "# TYPE fleetd_serve_batch_size histogram" in m, "missing batch-size family"
+bsum = re.search(r'^fleetd_serve_batch_size_sum\{class="interactive"\} (\d+)$', m, re.M)
+bcount = re.search(r'^fleetd_serve_batch_size_count\{class="interactive"\} (\d+)$', m, re.M)
+assert bsum and bcount and int(bcount.group(1)) > 0, "batch-size histogram empty:\n" + m
+mean = int(bsum.group(1)) / int(bcount.group(1))
+assert mean > 1, "burst never batched: mean executed batch %.2f" % mean
+print("serve metrics ok: rate sheds=%s mean batch=%.2f" % (shed.group(1), mean))
 PY
 
 echo "== live SLO report"
@@ -315,8 +328,10 @@ assert set(rows) == {"interactive", "batch"}, sorted(rows)
 row = rows["interactive"]
 assert row["served"] > 0 and row["shed_rate"] > 0, row
 assert 0 <= row["attainment"] <= 1, row
-print("slo ok: served=%d shed_rate=%d attainment=%.3f"
-      % (row["served"], row["shed_rate"], row["attainment"]))
+assert row["mean_batch"] > 1, "slo report never saw a formed batch: %s" % row
+assert 0 < rep["fairness"] <= 1, rep
+print("slo ok: served=%d shed_rate=%d attainment=%.3f mean_batch=%.2f fairness=%.3f"
+      % (row["served"], row["shed_rate"], row["attainment"], row["mean_batch"], rep["fairness"]))
 '
 
 echo "== graceful shutdown"
